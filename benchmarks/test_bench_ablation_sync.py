@@ -1,0 +1,95 @@
+"""Ablation A1 — script-command sync vs naive wall-clock timer sync.
+
+The design choice under test: the paper synchronizes slides by embedding
+script commands in the stream, fired off the *media clock* (so a stall
+shifts slides and video together). The ablated alternative fires slides
+off a wall-clock timer started at playback begin — what a naive web page
+with ``setTimeout`` would do. On a clean link both look fine; on a link
+that rebuffers, the timer mode drifts by exactly the accumulated stall
+time while script mode stays within a render tick.
+"""
+
+import pytest
+
+from benchmarks._harness import run_once
+
+from repro.lod import Lecture, MediaStore, WebPublishingManager
+from repro.metrics import format_table
+from repro.streaming import MediaPlayer, MediaServer
+from repro.web import VirtualNetwork
+
+
+def run_mode(sync_mode: str, bandwidth: float):
+    lecture = Lecture.from_slide_durations(
+        "A1", "Prof", [15.0] * 4, slide_width=160, slide_height=120,
+    )
+    net = VirtualNetwork()
+    # deep queue: persistent overload shows up as delay (stalls), not drops
+    net.connect("server", "student", bandwidth=bandwidth, delay=0.03,
+                queue_limit=10_000)
+    server = MediaServer(net, "server", port=8080)
+    store = MediaStore()
+    store.register_lecture("/v", "/s", lecture)
+    manager = WebPublishingManager(store=store, media_server=server)
+    record = manager.publish(
+        video_path="/v", slide_dir="/s", point="a1", profile="dsl-256k"
+    )
+    player = MediaPlayer(net, "student", sync_mode=sync_mode)
+    report = player.watch(record.url)
+    return report
+
+
+class TestA1ScriptVsTimer:
+    def test_clean_link_both_modes_fine(self, benchmark):
+        def run_both():
+            return (
+                run_mode("script", bandwidth=2_000_000),
+                run_mode("timer", bandwidth=2_000_000),
+            )
+
+        script, timer = run_once(benchmark, run_both)
+        assert script.rebuffer_count == 0 and timer.rebuffer_count == 0
+        assert script.max_command_sync_error <= 0.1
+        assert timer.max_command_sync_error <= 0.2
+        print("\n[A1a] clean 2 Mbps link: both modes keep slides in sync")
+        print(format_table(
+            ["mode", "rebuffers", "max sync err (ms)", "mean (ms)"],
+            [["script", script.rebuffer_count,
+              script.max_command_sync_error * 1000,
+              script.mean_command_sync_error * 1000],
+             ["timer", timer.rebuffer_count,
+              timer.max_command_sync_error * 1000,
+              timer.mean_command_sync_error * 1000]],
+        ))
+
+    def test_bench_ablation_sync(self, benchmark):
+        """Constrained link: rebuffering desynchronizes the timer mode."""
+
+        def run_both():
+            # ~260 kbps stream over a 230 kbps link: guaranteed stalls
+            return (
+                run_mode("script", bandwidth=230_000),
+                run_mode("timer", bandwidth=230_000),
+            )
+
+        script, timer = run_once(benchmark, run_both)
+        assert script.rebuffer_count > 0  # the link really is too thin
+        assert timer.rebuffer_count > 0
+        # the paper's design: slides ride the media clock through stalls
+        assert script.max_command_sync_error <= 0.2
+        # the ablation drifts by roughly the stall time
+        assert timer.max_command_sync_error > script.max_command_sync_error * 2
+        assert timer.max_command_sync_error >= timer.rebuffer_time * 0.5
+        print("\n[A1b] constrained 230 kbps link (stream needs ~260 kbps):")
+        print(format_table(
+            ["mode", "rebuffers", "stall (s)", "max sync err (s)",
+             "mean (s)"],
+            [["script", script.rebuffer_count, script.rebuffer_time,
+              script.max_command_sync_error,
+              script.mean_command_sync_error],
+             ["timer", timer.rebuffer_count, timer.rebuffer_time,
+              timer.max_command_sync_error,
+              timer.mean_command_sync_error]],
+        ))
+        print("timer-mode slides lead the stalled video by the accumulated "
+              "stall time; script commands stay locked to the media clock.")

@@ -1,0 +1,181 @@
+"""Benches F1/F2/E23/F3/F4 — the content-tree figures and worked example.
+
+The paper's only concrete numbers are the ``LevelNodes`` values of §2.3
+and Figures 3–4; each bench regenerates them exactly and times the
+operation it illustrates. F2 additionally sweeps tree size to show the
+per-level presentation-time computation scaling.
+"""
+
+import random
+
+import pytest
+
+from repro.contenttree import Abstractor, ContentTree, build_example_tree
+from repro.metrics import MetricsCollector, format_table
+
+
+class TestF1TreeConstruction:
+    """Figure 1: building a multiple-level content tree."""
+
+    def build(self, levels=4, fanout=3):
+        tree = ContentTree()
+        tree.initialize("root", 20)
+        counter = 0
+        frontier = ["root"]
+        for _ in range(levels - 1):
+            next_frontier = []
+            for parent in frontier:
+                for _ in range(fanout):
+                    counter += 1
+                    name = f"n{counter}"
+                    tree.attach(name, 20, parent=parent)
+                    next_frontier.append(name)
+            frontier = next_frontier
+        return tree
+
+    def test_fig1_tree_construction(self, benchmark):
+        tree = benchmark(self.build)
+        assert tree.highest_level == 3
+        assert len(tree) == 1 + 3 + 9 + 27
+        tree.validate()
+        print("\n[F1] 4-level content tree, fanout 3:")
+        print(format_table(
+            ["level", "nodes", "LevelNodes[q] (s)"],
+            [[q, len(tree.level_nodes(q)), tree.presentation_time(q)]
+             for q in range(tree.highest_level + 1)],
+        ))
+
+
+class TestF2LevelDurations:
+    """Figure 2: 'the higher level gives the longer presentation'."""
+
+    def test_fig2_level_durations(self, benchmark):
+        tree = build_example_tree()
+
+        values = benchmark(tree.level_values)
+        assert values == [20.0, 60.0, 100.0]
+        assert values == sorted(values)  # monotone in level
+        print("\n[F2] per-level presentation time (paper example):")
+        print(format_table(
+            ["level", "duration (s)", "segments"],
+            [[q, values[q],
+              " ".join(n.name for n in tree.presentation_at(q))]
+             for q in range(len(values))],
+        ))
+
+    def test_fig2_scaling_sweep(self, benchmark):
+        """presentation_time over randomly grown trees of increasing size."""
+        collector = MetricsCollector("[F2] level-duration scaling")
+
+        def grow(n_nodes: int) -> ContentTree:
+            rng = random.Random(7)
+            tree = ContentTree()
+            tree.initialize("root", 10)
+            names = ["root"]
+            for i in range(n_nodes - 1):
+                name = f"n{i}"
+                tree.attach(name, 10, parent=rng.choice(names))
+                names.append(name)
+            return tree
+
+        for size in (10, 100, 1_000):
+            tree = grow(size)
+            values = tree.level_values()
+            collector.record("levels", size, len(values))
+            collector.record("total_s", size, values[-1])
+            assert values[-1] == size * 10  # deepest level plays everything
+
+        big = grow(1_000)
+        benchmark(big.level_values)
+        print()
+        print(collector.as_table(x_label="nodes"))
+
+
+class TestE23WorkedExample:
+    """§2.3: the four build steps with every printed LevelNodes value."""
+
+    def test_sec23_build_steps(self, benchmark):
+        def build_with_checkpoints():
+            checkpoints = []
+            tree = ContentTree()
+            tree.initialize("S0", 20)
+            checkpoints.append((tree.highest_level, tree.level_values()))
+            tree.attach("S1", 20, level=1)
+            checkpoints.append((tree.highest_level, tree.level_values()))
+            tree.attach("S2", 20, level=2)
+            checkpoints.append((tree.highest_level, tree.level_values()))
+            tree.attach("S3", 20, level=2)
+            tree.attach("S4", 20, level=1)
+            checkpoints.append((tree.highest_level, tree.level_values()))
+            return tree, checkpoints
+
+        tree, checkpoints = benchmark(build_with_checkpoints)
+        # the paper's printed values, step by step
+        assert checkpoints[0] == (0, [20.0])
+        assert checkpoints[1][0] == 1 and checkpoints[1][1][1] == 40.0
+        assert checkpoints[2][0] == 2 and checkpoints[2][1][2] == 60.0
+        assert checkpoints[3][0] == 2
+        assert checkpoints[3][1][1] == 60.0 and checkpoints[3][1][2] == 100.0
+        print("\n[E23] §2.3 build steps (paper-printed values reproduced):")
+        rows = []
+        labels = ["step1 add S0", "step2 add S1", "step3 add S2",
+                  "step4 add S3,S4"]
+        for label, (highest, values) in zip(labels, checkpoints):
+            rows.append([label, highest,
+                         " ".join(f"{v:g}" for v in values)])
+        print(format_table(["step", "highestLevel", "LevelNodes[:]"], rows))
+
+
+class TestF3Insert:
+    """Figure 3: insert S5 at level 1 → LevelNodes = 20 / 60 / 120."""
+
+    def test_fig3_insert(self, benchmark):
+        def insert():
+            tree = build_example_tree()
+            tree.insert("S5", 20, parent="S0", adopt=["S4"])
+            return tree
+
+        tree = benchmark(insert)
+        values = tree.level_values()
+        assert values == [20.0, 60.0, 120.0]  # the paper's printed numbers
+        assert tree.node("S5").level == 1
+        assert tree.node("S4").level == 2
+        print("\n[F3] insert S5 (level 1): LevelNodes =",
+              " / ".join(f"{v:g}" for v in values),
+              "(matches the paper's 20/60/120)")
+
+
+class TestF4Delete:
+    """Figure 4: delete S5; children adopted by sibling S1."""
+
+    def test_fig4_delete(self, benchmark):
+        def delete():
+            tree = build_example_tree()
+            tree.insert("S5", 20, parent="S0", adopt=["S4"])
+            tree.delete("S5")
+            return tree
+
+        tree = benchmark(delete)
+        assert "S5" not in tree
+        assert tree.node("S4").parent.name == "S1"  # adopted by the sibling
+        print("\n[F4] delete S5: S4 adopted by sibling S1; LevelNodes =",
+              " / ".join(f"{v:g}" for v in tree.level_values()))
+        print(tree.render())
+
+
+class TestAbstractorThroughput:
+    """Supporting micro-bench: Abstractor budget queries."""
+
+    def test_abstractor_budget_query(self, benchmark):
+        rng = random.Random(3)
+        tree = ContentTree()
+        tree.initialize("root", 5)
+        names = ["root"]
+        for i in range(500):
+            name = f"n{i}"
+            tree.attach(name, rng.randint(5, 30), parent=rng.choice(names))
+            names.append(name)
+        abstractor = Abstractor(tree)
+        total = tree.presentation_time(tree.highest_level)
+        level = benchmark(abstractor.level_for_budget, total / 2)
+        assert 0 <= level <= tree.highest_level

@@ -1,0 +1,76 @@
+"""Supporting bench — cost of the formal machinery at lecture scale.
+
+The paper's pitch is that Petri nets give the system "both practice and
+theory"; that only holds if compiling and verifying the net of a real
+lecture is cheap. This bench sweeps lecture size (number of slides) and
+times the three formal steps the publisher runs on every publish:
+
+* compiling the extended presentation's OCPN,
+* executing it (the schedule),
+* verifying the schedule against the interval algebra,
+
+plus the safety check (reachability-based) at small-to-medium sizes.
+The shape: compile/execute/verify stay well under a second even at 200
+slides — orders of magnitude below the encoding cost they accompany.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._harness import run_once
+
+from repro.core.analysis import is_safe
+from repro.core.ocpn import compile_spec, verify_schedule
+from repro.lod import Lecture
+from repro.metrics import format_table
+
+
+def lecture_spec(n_slides):
+    lecture = Lecture.from_slide_durations(
+        "scale", "P", [10.0] * n_slides, with_audio=True,
+        slide_width=160, slide_height=120,
+    )
+    return lecture.to_presentation().spec
+
+
+class TestNetScaling:
+    def test_bench_formal_pipeline_scaling(self, benchmark):
+        def sweep():
+            rows = []
+            for n in (10, 50, 100, 200):
+                spec = lecture_spec(n)
+                t0 = time.perf_counter()
+                compiled = compile_spec(spec)
+                t1 = time.perf_counter()
+                execution = compiled.execute()
+                t2 = time.perf_counter()
+                verify_schedule(compiled)
+                t3 = time.perf_counter()
+                rows.append((
+                    n,
+                    len(compiled.timed_net.net.places),
+                    (t1 - t0) * 1000,
+                    (t2 - t1) * 1000,
+                    (t3 - t2) * 1000,
+                ))
+            return rows
+
+        rows = run_once(benchmark, sweep)
+        print("\n[scal] formal pipeline cost vs lecture size (ms):")
+        print(format_table(
+            ["slides", "places", "compile", "execute", "verify"],
+            [list(r) for r in rows],
+        ))
+        # the publish-blocking steps stay under a second at 200 slides
+        slides, places, compile_ms, execute_ms, verify_ms = rows[-1]
+        assert slides == 200
+        assert compile_ms < 1_000
+        assert execute_ms + verify_ms < 2_000
+        # place count grows linearly with slides
+        assert rows[-1][1] < rows[0][1] * 30
+
+    def test_bench_safety_check_medium_net(self, benchmark):
+        compiled = compile_spec(lecture_spec(12))
+        safe = run_once(benchmark, is_safe, compiled.timed_net.net)
+        assert safe

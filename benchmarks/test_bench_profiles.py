@@ -1,0 +1,138 @@
+"""Bench S2 — bandwidth profiles vs link capacity (§2.1/§2.5).
+
+"The more high bit rate means the content will be encoded to a more
+high-resolution content." The profile ladder trades quality for rate; the
+configuration window's job is to match the audience's connection. The
+bench reproduces the two shapes behind that advice:
+
+* **quality ladder** — encoding one source at every profile: modeled
+  quality and resolution rise monotonically with bitrate;
+* **profile × link matrix** — streaming each profile over each link:
+  above-capacity pairs stall (rebuffer), matched pairs play clean, and
+  :func:`repro.media.profiles.select_profile` picks the best clean row
+  (the crossover the configuration window encodes).
+"""
+
+import pytest
+
+from benchmarks._harness import run_once
+
+from repro.lod import Lecture, MediaStore, WebPublishingManager
+from repro.media import STANDARD_PROFILES, VideoObject, select_profile
+from repro.metrics import format_table
+from repro.streaming import MediaPlayer, MediaServer
+from repro.web import VirtualNetwork
+
+SOURCE = VideoObject("master", 30.0, width=640, height=480, fps=25)
+
+
+class TestQualityLadder:
+    def test_profile_quality_monotone(self, benchmark):
+        def encode_all():
+            rows = []
+            for profile in STANDARD_PROFILES:
+                encoded = profile.encode_video(SOURCE)
+                scaled = profile.configure_video(SOURCE)
+                rows.append(
+                    (profile.name, profile.total_bitrate / 1000,
+                     f"{scaled.width}x{scaled.height}@{scaled.fps:g}",
+                     encoded.quality, encoded.compression_ratio)
+                )
+            return rows
+
+        rows = run_once(benchmark, encode_all)
+        # the paper's literal claim: "more high bit rate means ... more
+        # high-resolution content" — resolution is monotone in rate
+        resolutions = [int(r[2].split("x")[0]) for r in rows]
+        assert resolutions == sorted(resolutions)
+        rates = [r[1] for r in rows]
+        assert rates == sorted(rates)
+        # at a fixed resolution, more bits = higher modeled quality
+        by_resolution = {}
+        for name, kbps, video, quality, _ in rows:
+            by_resolution.setdefault(video.split("@")[0], []).append(quality)
+        for resolution, qualities in by_resolution.items():
+            assert qualities == sorted(qualities), resolution
+        print("\n[S2a] the profile ladder ('higher bit rate -> higher "
+              "resolution'):")
+        print(format_table(
+            ["profile", "kbps", "video", "quality", "compression"],
+            [list(r) for r in rows],
+        ))
+
+
+class TestProfileLinkMatrix:
+    LINKS = {  # name -> usable bitrate
+        "modem-56k": 56_000,
+        "isdn-128k": 128_000,
+        "dsl-512k": 512_000,
+        "lan-2m": 2_000_000,
+    }
+    PROFILES = ("modem-28k", "isdn-dual", "dsl-256k", "lan-1m")
+
+    def stream_once(self, profile_name, link_bps):
+        lecture = Lecture.from_slide_durations(
+            "S2", "Prof", [10.0, 10.0], slide_width=160, slide_height=120,
+        )
+        net = VirtualNetwork()
+        net.connect("server", "student", bandwidth=link_bps, delay=0.03)
+        server = MediaServer(net, "server", port=8080)
+        store = MediaStore()
+        store.register_lecture("/v", "/s", lecture)
+        manager = WebPublishingManager(server, store)
+        record = manager.publish(
+            video_path="/v", slide_dir="/s", point="m", profile=profile_name
+        )
+        player = MediaPlayer(net, "student")
+        try:
+            report = player.watch(record.url, )
+        except Exception:
+            return None  # hopelessly stalled
+        return report
+
+    def test_bench_profile_link_matrix(self, benchmark):
+        def sweep():
+            matrix = {}
+            for profile in self.PROFILES:
+                for link, bps in self.LINKS.items():
+                    matrix[(profile, link)] = self.stream_once(profile, bps)
+            return matrix
+
+        matrix = run_once(benchmark, sweep)
+        rows = []
+        for profile in self.PROFILES:
+            row = [profile]
+            for link in self.LINKS:
+                report = matrix[(profile, link)]
+                if report is None:
+                    row.append("stall")
+                else:
+                    row.append(
+                        f"{report.rebuffer_count}rb/{report.rebuffer_time:.1f}s"
+                    )
+            rows.append(row)
+        print("\n[S2b] rebuffering: profile (rows) x link (cols):")
+        print(format_table(["profile", *self.LINKS.keys()], rows))
+
+        # shape 1: matched/over-provisioned pairs play clean
+        clean = matrix[("dsl-256k", "dsl-512k")]
+        assert clean is not None and clean.rebuffer_count == 0
+        lan = matrix[("lan-1m", "lan-2m")]
+        assert lan is not None and lan.rebuffer_count == 0
+        # shape 2: an over-rate profile on a thin link stalls
+        over = matrix[("dsl-256k", "modem-56k")]
+        assert over is None or over.rebuffer_count > 0
+        over2 = matrix[("lan-1m", "isdn-128k")]
+        assert over2 is None or over2.rebuffer_count > 0
+
+    def test_select_profile_matches_clean_rows(self, benchmark):
+        """select_profile picks the highest profile that streams clean."""
+        choices = benchmark(
+            lambda: {link: select_profile(bps).name
+                     for link, bps in self.LINKS.items()}
+        )
+        assert choices["modem-56k"] == "modem-28k"
+        assert choices["isdn-128k"] == "modem-56k"
+        assert choices["dsl-512k"] == "dsl-256k"
+        assert choices["lan-2m"] == "lan-1m"
+        print("\n[S2c] select_profile per link:", choices)

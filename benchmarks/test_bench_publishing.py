@@ -1,0 +1,153 @@
+"""Benches F5/F6/F7 — the publishing and synchronized-playback figures.
+
+* **F5** (Fig. 5, "a web publishing manager"): the full publish → replay
+  round trip through the HTTP form, timed end to end.
+* **F6** (Fig. 6, "multi-level content tree of the web-based multimedia
+  presentation"): per-level replay of a published lecture — the rows are
+  level, segments, stream time delivered.
+* **F7** (Fig. 7, "an example of Presentations"): synchronized video +
+  slides playback; the series is per-slide sync error across link
+  qualities. The paper claims synchronization "automatically"; the shape
+  to reproduce is sync error bounded by the render tick on every link.
+"""
+
+import pytest
+
+from benchmarks._harness import run_once
+
+from repro.lod import (
+    Lecture,
+    LODPlayback,
+    MediaStore,
+    WebPublishingManager,
+    replay_all_levels,
+)
+from repro.metrics import MetricsCollector, format_table
+from repro.streaming import MediaPlayer, MediaServer
+from repro.web import HTTPClient, VirtualNetwork, form_encode
+
+
+def make_lecture(n_slides=6, slide_seconds=10.0):
+    importances = [i % 3 for i in range(n_slides)]
+    return Lecture.from_slide_durations(
+        "Benchmark Lecture", "Prof", [slide_seconds] * n_slides,
+        importances=importances, slide_width=320, slide_height=240,
+    )
+
+
+def make_world(lecture, links):
+    net = VirtualNetwork()
+    net.connect("teacher", "server", bandwidth=10e6, delay=0.005)
+    for host, params in links.items():
+        net.connect("server", host, **params)
+    server = MediaServer(net, "server", port=8080)
+    store = MediaStore()
+    store.register_lecture("/v", "/s", lecture)
+    manager = WebPublishingManager(server, store)
+    return net, server, manager
+
+
+class TestF5PublishReplay:
+    def test_fig5_publish_replay(self, benchmark):
+        lecture = make_lecture()
+
+        def publish_and_replay():
+            net, server, manager = make_world(
+                lecture, {"student": dict(bandwidth=2e6, delay=0.02)}
+            )
+            teacher = HTTPClient(net, "teacher")
+            response = teacher.post(
+                "http://server:8080/publish",
+                body=form_encode({
+                    "video_path": "/v", "slide_dir": "/s",
+                    "point": "bench", "profile": "dsl-256k",
+                }),
+            )
+            assert response.ok
+            report = MediaPlayer(net, "student").watch(response.body["url"])
+            return response.body, report
+
+        body, report = run_once(benchmark, publish_and_replay)
+        assert body["verification_error"] <= 1e-3
+        assert report.duration_watched == pytest.approx(60.0, abs=0.3)
+        print("\n[F5] publish -> replay round trip:")
+        print(format_table(
+            ["metric", "value"],
+            [
+                ["published URL", body["url"]],
+                ["Petri-net verification error (s)", body["verification_error"]],
+                ["startup latency (s)", report.startup_latency],
+                ["rebuffer events", report.rebuffer_count],
+                ["seconds watched", report.duration_watched],
+                ["slides fired", len(report.slide_changes())],
+            ],
+        ))
+
+
+class TestF6LectureTree:
+    def test_fig6_lecture_tree(self, benchmark):
+        lecture = make_lecture()
+
+        def replay_levels():
+            net, server, manager = make_world(
+                lecture, {"student": dict(bandwidth=2e6, delay=0.02)}
+            )
+            record = manager.publish(video_path="/v", slide_dir="/s",
+                                     point="levels")
+            tree = manager.content_tree_of("levels")
+            playback = LODPlayback(net, "student", lecture, record.url)
+            return tree, replay_all_levels(playback, tree)
+
+        tree, results = run_once(benchmark, replay_levels)
+        # the tree is the Fig. 6 multi-level view: deeper levels play more
+        counts = [len(r.segments_played) for r in results]
+        assert counts == sorted(counts)
+        assert counts[-1] == len(lecture.segments)
+        assert all(r.coverage == 1.0 for r in results)
+        print("\n[F6] per-level replay of the published lecture:")
+        print(format_table(
+            ["level", "segments", "nominal (s)", "watched (s)", "coverage"],
+            [[r.level, len(r.segments_played), r.nominal_duration,
+              r.report.duration_watched, f"{r.coverage:.0%}"]
+             for r in results],
+        ))
+
+
+class TestF7SynchronizedPlayback:
+    LINKS = {
+        "lan": dict(bandwidth=5e6, delay=0.005),
+        "dsl": dict(bandwidth=500_000, delay=0.04),
+        "wan-lossy": dict(bandwidth=2e6, delay=0.08, loss_rate=0.02),
+    }
+
+    def test_fig7_synchronized_playback(self, benchmark):
+        lecture = make_lecture()
+
+        def watch_everywhere():
+            net, server, manager = make_world(lecture, self.LINKS)
+            record = manager.publish(video_path="/v", slide_dir="/s",
+                                     point="sync")
+            audits = {}
+            for host in self.LINKS:
+                playback = LODPlayback(net, host, lecture, record.url)
+                report, audit = playback.watch()
+                audits[host] = (report, audit)
+            return audits
+
+        audits = run_once(benchmark, watch_everywhere)
+        collector = MetricsCollector("[F7] slide sync error by link (ms)")
+        for i, (host, (report, audit)) in enumerate(audits.items()):
+            assert audit.ok, host
+            # the paper's claim: slides stay synchronized with the video
+            assert audit.max_error <= 2 * MediaPlayer.RENDER_TICK, host
+            collector.record("max_ms", i, audit.max_error * 1000)
+            collector.record("mean_ms", i, audit.mean_error * 1000)
+        print("\n[F7] synchronized video + slides playback:")
+        print(format_table(
+            ["link", "slides", "max sync err (ms)", "mean (ms)",
+             "rebuffers", "loss max"],
+            [[host, len(audit.per_slide), audit.max_error * 1000,
+              audit.mean_error * 1000, report.rebuffer_count,
+              max(report.loss_rates.values(), default=0.0)]
+             for host, (report, audit) in audits.items()],
+        ))

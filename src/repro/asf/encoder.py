@@ -1,0 +1,416 @@
+"""The encoder — equivalent of Windows Media Encoder (paper §2.1, §2.5).
+
+"Windows Media Codecs for creating advance stream format (ASF) content use
+compression/decompression algorithms to compress audio and/or video media,
+either from live sources or other media formats, to fit on a network's
+available bandwidth."
+
+:class:`ASFEncoder` takes media sources plus a
+:class:`~repro.media.profiles.BandwidthProfile` and produces either a
+stored :class:`~repro.asf.stream.ASFFile` (:meth:`encode_file`) or a
+:class:`~repro.asf.stream.ASFLiveStream` fed incrementally
+(:meth:`start_live` / :meth:`LiveEncoderSession.capture`). Script commands
+(slide changes, annotations) are multiplexed into the output; DRM
+protection is applied when a license server is supplied.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..media.codecs import EncodedStream, ImageCodec
+from ..media.objects import AudioObject, ImageObject, VideoObject
+from ..media.profiles import BandwidthProfile
+from .constants import (
+    ASFError,
+    DEFAULT_PACKET_SIZE,
+    FLAG_BROADCAST,
+    FLAG_DRM_PROTECTED,
+    SCRIPT_STREAM_NUMBER,
+    STREAM_TYPE_AUDIO,
+    STREAM_TYPE_COMMAND,
+    STREAM_TYPE_IMAGE,
+    STREAM_TYPE_VIDEO,
+)
+from .drm import DRMInfo, LicenseServer, scramble
+from .header import FileProperties, HeaderObject, StreamProperties
+from .packets import (
+    MediaUnit,
+    Packetizer,
+    units_from_commands,
+    units_from_encoded,
+)
+from .script_commands import ScriptCommand
+from .stream import ASFFile, ASFLiveStream
+
+
+@dataclass
+class EncoderConfig:
+    """Knobs of an encoding session."""
+
+    profile: BandwidthProfile
+    packet_size: int = DEFAULT_PACKET_SIZE
+    preroll_ms: int = 3_000
+    with_data: bool = False  # carry real synthetic payload bytes
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+
+class ASFEncoder:
+    """Builds ASF content from media sources under a bandwidth profile."""
+
+    def __init__(self, config: EncoderConfig) -> None:
+        self.config = config
+        self._next_stream = itertools.count(1)
+        self._image_codec = ImageCodec()
+
+    # ------------------------------------------------------------------
+
+    def _encode_sources(
+        self,
+        video: Optional[VideoObject],
+        audio: Optional[AudioObject],
+        images: Sequence[Tuple[ImageObject, float]],
+    ) -> Tuple[List[StreamProperties], List[List[MediaUnit]], float]:
+        """Encode all sources; returns (stream table, unit lists, duration)."""
+        profile = self.config.profile
+        streams: List[StreamProperties] = []
+        unit_lists: List[List[MediaUnit]] = []
+        duration = 0.0
+
+        if video is not None:
+            number = next(self._next_stream)
+            encoded = profile.encode_video(video, with_data=self.config.with_data)
+            streams.append(
+                StreamProperties(
+                    number,
+                    STREAM_TYPE_VIDEO,
+                    codec=profile.video_codec,
+                    bitrate=encoded.bitrate,
+                    name=video.name,
+                    extra={
+                        "width": str(profile.configure_video(video).width),
+                        "height": str(profile.configure_video(video).height),
+                        "fps": str(profile.configure_video(video).fps),
+                        "quality": f"{encoded.quality:.4f}",
+                    },
+                )
+            )
+            unit_lists.append(units_from_encoded(number, encoded))
+            duration = max(duration, video.duration)
+
+        if audio is not None:
+            number = next(self._next_stream)
+            encoded = profile.encode_audio(audio, with_data=self.config.with_data)
+            streams.append(
+                StreamProperties(
+                    number,
+                    STREAM_TYPE_AUDIO,
+                    codec=profile.audio_codec,
+                    bitrate=encoded.bitrate,
+                    name=audio.name,
+                    extra={"quality": f"{encoded.quality:.4f}"},
+                )
+            )
+            unit_lists.append(units_from_encoded(number, encoded))
+            duration = max(duration, audio.duration)
+
+        if images:
+            number = next(self._next_stream)
+            units: List[MediaUnit] = []
+            total_size = 0
+            for object_number, (image, show_at) in enumerate(images):
+                encoded = self._image_codec.encode(
+                    image, with_data=self.config.with_data
+                )
+                unit = units_from_encoded(number, encoded)[0]
+                units.append(
+                    MediaUnit(
+                        number,
+                        object_number,
+                        round(show_at * 1000),
+                        True,
+                        unit.data,
+                    )
+                )
+                total_size += len(unit.data)
+                duration = max(duration, show_at + image.duration)
+            span = max(duration, 1e-9)
+            streams.append(
+                StreamProperties(
+                    number,
+                    STREAM_TYPE_IMAGE,
+                    codec=self._image_codec.name,
+                    bitrate=total_size * 8 / span,
+                    name="slides",
+                )
+            )
+            unit_lists.append(units)
+
+        return streams, unit_lists, duration
+
+    def _command_stream_properties(self) -> StreamProperties:
+        return StreamProperties(
+            SCRIPT_STREAM_NUMBER, STREAM_TYPE_COMMAND, codec="script", name="commands"
+        )
+
+    def _protect_units(
+        self, unit_lists: List[List[MediaUnit]], key: str
+    ) -> List[List[MediaUnit]]:
+        protected = []
+        for units in unit_lists:
+            protected.append(
+                [
+                    MediaUnit(
+                        u.stream_number,
+                        u.object_number,
+                        u.timestamp_ms,
+                        u.keyframe,
+                        scramble(u.data, key),
+                    )
+                    for u in units
+                ]
+            )
+        return protected
+
+    # ------------------------------------------------------------------
+
+    def encode_file(
+        self,
+        *,
+        file_id: str,
+        video: Optional[VideoObject] = None,
+        audio: Optional[AudioObject] = None,
+        images: Sequence[Tuple[ImageObject, float]] = (),
+        commands: Sequence[ScriptCommand] = (),
+        license_server: Optional[LicenseServer] = None,
+    ) -> ASFFile:
+        """Encode sources into a stored, indexed .asf file."""
+        if video is None and audio is None and not images:
+            raise ASFError("nothing to encode")
+        streams, unit_lists, duration = self._encode_sources(video, audio, images)
+        flags = 0
+        drm: Optional[DRMInfo] = None
+        if license_server is not None:
+            key = license_server.register(file_id)
+            unit_lists = self._protect_units(unit_lists, key)
+            drm = DRMInfo(content_id=file_id)
+            flags |= FLAG_DRM_PROTECTED
+
+        command_list = sorted(commands)
+        if command_list:
+            streams.append(self._command_stream_properties())
+            unit_lists.append(units_from_commands(command_list))
+
+        header = HeaderObject(
+            file_properties=FileProperties(
+                file_id=file_id,
+                duration_ms=round(duration * 1000),
+                packet_size=self.config.packet_size,
+                preroll_ms=self.config.preroll_ms,
+                flags=flags,
+            ),
+            streams=streams,
+            metadata=dict(self.config.metadata),
+            script_commands=command_list,
+            drm=drm,
+        )
+        packetizer = Packetizer(
+            packet_size=self.config.packet_size,
+            bitrate=max(header.total_bitrate, 1.0),
+            pacing="duration",
+        )
+        asf = ASFFile(header=header, packets=packetizer.packetize(unit_lists))
+        asf.ensure_index()
+        return asf
+
+    def encode_file_mbr(
+        self,
+        *,
+        file_id: str,
+        video: VideoObject,
+        renditions: List[BandwidthProfile],
+        audio: Optional[AudioObject] = None,
+        images: Sequence[Tuple[ImageObject, float]] = (),
+        commands: Sequence[ScriptCommand] = (),
+        license_server: Optional[LicenseServer] = None,
+    ) -> ASFFile:
+        """Multi-bitrate encoding — Windows Media "Intelligent Streaming".
+
+        The video is encoded once per profile in ``renditions`` into
+        separate, mutually exclusive streams (tagged with ``mbr_group`` /
+        ``mbr_rank`` in their stream properties); audio rides a single
+        stream at the *first* profile's audio settings. A server delivers
+        exactly one video rendition per client, picked to fit the client's
+        link — see :meth:`repro.streaming.server.MediaServer.open_session`.
+        """
+        if not renditions:
+            raise ASFError("MBR encoding needs at least one rendition")
+        streams: List[StreamProperties] = []
+        unit_lists: List[List[MediaUnit]] = []
+        duration = video.duration
+
+        ordered = sorted(renditions, key=lambda p: p.video_bitrate)
+        for rank, profile in enumerate(ordered):
+            number = next(self._next_stream)
+            encoded = profile.encode_video(video, with_data=self.config.with_data)
+            scaled = profile.configure_video(video)
+            streams.append(
+                StreamProperties(
+                    number,
+                    STREAM_TYPE_VIDEO,
+                    codec=profile.video_codec,
+                    bitrate=encoded.bitrate,
+                    name=f"{video.name}@{profile.name}",
+                    extra={
+                        "mbr_group": "video",
+                        "mbr_rank": str(rank),
+                        "profile": profile.name,
+                        "width": str(scaled.width),
+                        "height": str(scaled.height),
+                        "quality": f"{encoded.quality:.4f}",
+                    },
+                )
+            )
+            unit_lists.append(units_from_encoded(number, encoded))
+
+        if audio is not None:
+            number = next(self._next_stream)
+            encoded = ordered[0].encode_audio(audio, with_data=self.config.with_data)
+            streams.append(
+                StreamProperties(
+                    number, STREAM_TYPE_AUDIO, codec=ordered[0].audio_codec,
+                    bitrate=encoded.bitrate, name=audio.name,
+                )
+            )
+            unit_lists.append(units_from_encoded(number, encoded))
+            duration = max(duration, audio.duration)
+
+        if images:
+            number = next(self._next_stream)
+            units: List[MediaUnit] = []
+            total = 0
+            for object_number, (image, show_at) in enumerate(images):
+                encoded = self._image_codec.encode(
+                    image, with_data=self.config.with_data
+                )
+                blob = units_from_encoded(number, encoded)[0]
+                units.append(
+                    MediaUnit(number, object_number, round(show_at * 1000),
+                              True, blob.data)
+                )
+                total += len(blob.data)
+                duration = max(duration, show_at + image.duration)
+            streams.append(
+                StreamProperties(
+                    number, STREAM_TYPE_IMAGE, codec=self._image_codec.name,
+                    bitrate=total * 8 / max(duration, 1e-9), name="slides",
+                )
+            )
+            unit_lists.append(units)
+
+        flags = 0
+        drm: Optional[DRMInfo] = None
+        if license_server is not None:
+            key = license_server.register(file_id)
+            unit_lists = self._protect_units(unit_lists, key)
+            drm = DRMInfo(content_id=file_id)
+            flags |= FLAG_DRM_PROTECTED
+
+        command_list = sorted(commands)
+        if command_list:
+            streams.append(self._command_stream_properties())
+            unit_lists.append(units_from_commands(command_list))
+
+        header = HeaderObject(
+            file_properties=FileProperties(
+                file_id=file_id,
+                duration_ms=round(duration * 1000),
+                packet_size=self.config.packet_size,
+                preroll_ms=self.config.preroll_ms,
+                flags=flags,
+            ),
+            streams=streams,
+            metadata=dict(self.config.metadata),
+            script_commands=command_list,
+            drm=drm,
+        )
+        packetizer = Packetizer(
+            packet_size=self.config.packet_size,
+            bitrate=max(header.total_bitrate, 1.0),
+            pacing="duration",
+        )
+        asf = ASFFile(header=header, packets=packetizer.packetize(unit_lists))
+        asf.ensure_index()
+        return asf
+
+    def start_live(
+        self,
+        *,
+        file_id: str,
+        streams: Sequence[StreamProperties],
+        bitrate: Optional[float] = None,
+    ) -> "LiveEncoderSession":
+        """Open a live (broadcast) encoding session.
+
+        The caller feeds captured, already-encoded units via
+        :meth:`LiveEncoderSession.capture`; packets become available to the
+        server in timestamp order.
+        """
+        header = HeaderObject(
+            file_properties=FileProperties(
+                file_id=file_id,
+                duration_ms=0,
+                packet_size=self.config.packet_size,
+                preroll_ms=self.config.preroll_ms,
+                flags=FLAG_BROADCAST,
+            ),
+            streams=list(streams),
+            metadata=dict(self.config.metadata),
+        )
+        rate = bitrate or max(header.total_bitrate, 64_000.0)
+        return LiveEncoderSession(header, self.config.packet_size, rate)
+
+
+class LiveEncoderSession:
+    """An in-progress live broadcast (paper: "broadcast their encoded
+    content in real time")."""
+
+    def __init__(
+        self, header: HeaderObject, packet_size: int, bitrate: float
+    ) -> None:
+        self.stream = ASFLiveStream(header)
+        self._packetizer = Packetizer(packet_size=packet_size, bitrate=bitrate)
+        self._sequence_base = 0
+        self._time_base_ms = 0.0
+
+    def capture(self, units: Sequence[MediaUnit]) -> int:
+        """Packetize freshly captured units; returns packets produced."""
+        if not units:
+            return 0
+        packets = self._packetizer.packetize([list(units)])
+        # re-sequence/re-pace onto the live timeline
+        rebased = []
+        for packet in packets:
+            packet.sequence += self._sequence_base
+            packet.send_time_ms = round(
+                self._time_base_ms + packet.send_time_ms
+            )
+            rebased.append(packet)
+        if rebased:
+            self._sequence_base = rebased[-1].sequence + 1
+            self._time_base_ms = max(
+                self._time_base_ms,
+                float(max(u.timestamp_ms for u in units)),
+            )
+        self.stream.append(rebased)
+        return len(rebased)
+
+    def send_command(self, command: ScriptCommand) -> None:
+        """Inject a live script command (paper: commands "can be added to
+        live streams through Windows Media Encoder")."""
+        self.capture(units_from_commands([command]))
+
+    def finish(self) -> None:
+        self.stream.close()

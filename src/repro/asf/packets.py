@@ -1,0 +1,359 @@
+"""ASF data packets: payloads, fragmentation, packetizer, depacketizer.
+
+An ASF data section is a sequence of fixed-size packets, each carrying one
+or more *payloads*; a payload is a fragment of one media object (an encoded
+video frame, audio block, slide blob, or script command). Large objects are
+fragmented across packets; small objects share packets. Packets have
+constant-rate *send times*, which is how a server paces a stream to the
+profile's bitrate.
+
+* :class:`Payload` / :class:`DataPacket` — wire structures (binary
+  round-trippable, fixed ``packet_size`` with padding).
+* :class:`Packetizer` — multiplexes encoded streams + script commands into
+  a paced packet sequence, interleaved by timestamp.
+* :class:`Depacketizer` — reassembles objects per stream, tolerating
+  packet loss and reporting exactly which objects were lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .constants import (
+    ASFError,
+    DEFAULT_PACKET_SIZE,
+    MAX_STREAM_NUMBER,
+    MIN_STREAM_NUMBER,
+    SCRIPT_STREAM_NUMBER,
+    TAG_PACKET,
+)
+from .script_commands import ScriptCommand, pack_command, unpack_command
+from .wire import Reader, pack_u8, pack_u16, pack_u32, pack_u64, write_object
+
+#: Fixed per-payload header size on the wire (see Payload.pack).
+PAYLOAD_HEADER_SIZE = 1 + 4 + 4 + 4 + 8 + 1 + 4
+#: Fixed per-packet overhead: the 8-byte object wrapper (tag + length)
+#: plus the packet header fields (see DataPacket.pack).
+PACKET_HEADER_SIZE = 8 + 4 + 4 + 8 + 1 + 2
+
+
+@dataclass(frozen=True)
+class Payload:
+    """A fragment of one media object inside a packet."""
+
+    stream_number: int
+    object_number: int
+    offset: int  # byte offset of this fragment within the object
+    object_size: int  # total size of the (unfragmented) object
+    timestamp_ms: int
+    keyframe: bool
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if not MIN_STREAM_NUMBER <= self.stream_number <= MAX_STREAM_NUMBER:
+            raise ASFError(f"bad stream number {self.stream_number}")
+        if self.offset + len(self.data) > self.object_size:
+            raise ASFError("payload fragment exceeds object size")
+
+    @property
+    def is_complete_object(self) -> bool:
+        return self.offset == 0 and len(self.data) == self.object_size
+
+    def pack(self) -> bytes:
+        return (
+            pack_u8(self.stream_number)
+            + pack_u32(self.object_number)
+            + pack_u32(self.offset)
+            + pack_u32(self.object_size)
+            + pack_u64(self.timestamp_ms)
+            + pack_u8(1 if self.keyframe else 0)
+            + pack_u32(len(self.data))
+            + self.data
+        )
+
+    @classmethod
+    def unpack(cls, reader: Reader) -> "Payload":
+        stream = reader.u8()
+        number = reader.u32()
+        offset = reader.u32()
+        size = reader.u32()
+        ts = reader.u64()
+        keyframe = bool(reader.u8())
+        data = reader.blob()
+        return cls(stream, number, offset, size, ts, keyframe, data)
+
+    def wire_size(self) -> int:
+        return PAYLOAD_HEADER_SIZE + len(self.data)
+
+
+@dataclass
+class DataPacket:
+    """One fixed-size packet: sequence number, send time, payloads."""
+
+    sequence: int
+    send_time_ms: int
+    payloads: List[Payload] = field(default_factory=list)
+    packet_size: int = DEFAULT_PACKET_SIZE
+
+    def used(self) -> int:
+        return PACKET_HEADER_SIZE + sum(p.wire_size() for p in self.payloads)
+
+    def free(self) -> int:
+        return self.packet_size - self.used()
+
+    def pack(self) -> bytes:
+        body = (
+            pack_u32(self.sequence)
+            + pack_u32(self.packet_size)
+            + pack_u64(self.send_time_ms)
+            + pack_u8(len(self.payloads))
+            + pack_u16(0)  # reserved
+        )
+        # note: the leading TAG+length (8 bytes) is part of PACKET_HEADER_SIZE
+        for payload in self.payloads:
+            body += payload.pack()
+        padding = self.packet_size - (len(body) + 8)
+        if padding < 0:
+            raise ASFError(
+                f"packet overflow: {len(body) + 8} > {self.packet_size}"
+            )
+        return write_object(TAG_PACKET, body + b"\x00" * padding)
+
+    @classmethod
+    def unpack_from(cls, reader: Reader) -> "DataPacket":
+        body = reader.expect_object(TAG_PACKET)
+        r = Reader(body)
+        sequence = r.u32()
+        packet_size = r.u32()
+        send_time = r.u64()
+        count = r.u8()
+        r.u16()  # reserved
+        payloads = [Payload.unpack(r) for _ in range(count)]
+        return cls(sequence, send_time, payloads, packet_size)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "DataPacket":
+        return cls.unpack_from(Reader(data))
+
+
+@dataclass(frozen=True)
+class MediaUnit:
+    """Input to the packetizer / output of the depacketizer."""
+
+    stream_number: int
+    object_number: int
+    timestamp_ms: int
+    keyframe: bool
+    data: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def timestamp(self) -> float:
+        return self.timestamp_ms / 1000.0
+
+
+def units_from_encoded(
+    stream_number: int, encoded, *, materialize: bool = True
+) -> List[MediaUnit]:
+    """Adapt an :class:`~repro.media.codecs.EncodedStream` to media units.
+
+    Units whose codec run skipped payload generation (``data=b""`` but a
+    declared size) are *materialized* as zero bytes so wire sizes stay
+    honest.
+    """
+    units = []
+    for u in encoded.units:
+        data = u.data
+        if not data and materialize:
+            data = b"\x00" * u.size
+        units.append(
+            MediaUnit(stream_number, u.index, round(u.timestamp * 1000), u.keyframe, data)
+        )
+    return units
+
+
+def units_from_commands(commands: Sequence[ScriptCommand]) -> List[MediaUnit]:
+    """Script commands as payloads of the reserved command stream."""
+    return [
+        MediaUnit(SCRIPT_STREAM_NUMBER, i, c.timestamp_ms, True, pack_command(c))
+        for i, c in enumerate(sorted(commands))
+    ]
+
+
+def command_from_unit(unit: MediaUnit) -> ScriptCommand:
+    if unit.stream_number != SCRIPT_STREAM_NUMBER:
+        raise ASFError("not a script-command unit")
+    return unpack_command(Reader(unit.data))
+
+
+class Packetizer:
+    """Multiplexes media units into paced, fixed-size packets.
+
+    Two pacing modes:
+
+    * ``"bitrate"`` — constant spacing of ``packet_size·8/bitrate`` between
+      send times (live chunks, where timestamps are rebased by the caller);
+    * ``"duration"`` — send times spread uniformly across the content's
+      timestamp span, so N seconds of media are sent in exactly N seconds
+      *including* container overhead — how stored ASF files are paced
+      (constant-bitrate pacing would systematically lag by the overhead
+      fraction and starve long playbacks).
+    """
+
+    def __init__(
+        self,
+        *,
+        packet_size: int = DEFAULT_PACKET_SIZE,
+        bitrate: float = 300_000.0,
+        pacing: str = "bitrate",
+    ) -> None:
+        if packet_size <= PACKET_HEADER_SIZE + PAYLOAD_HEADER_SIZE:
+            raise ASFError(f"packet size {packet_size} too small to carry data")
+        if bitrate <= 0:
+            raise ASFError("bitrate must be positive")
+        if pacing not in ("bitrate", "duration"):
+            raise ASFError(f"unknown pacing mode {pacing!r}")
+        self.packet_size = packet_size
+        self.bitrate = bitrate
+        self.pacing = pacing
+
+    @property
+    def packet_interval_ms(self) -> float:
+        """Send-time spacing for constant-rate pacing."""
+        return self.packet_size * 8 * 1000 / self.bitrate
+
+    def packetize(self, streams: Iterable[Sequence[MediaUnit]]) -> List[DataPacket]:
+        """Interleave all units by (timestamp, stream) and pack greedily."""
+        units: List[MediaUnit] = []
+        for stream_units in streams:
+            units.extend(stream_units)
+        units.sort(key=lambda u: (u.timestamp_ms, u.stream_number, u.object_number))
+
+        packets: List[DataPacket] = []
+
+        def new_packet() -> DataPacket:
+            seq = len(packets)
+            packet = DataPacket(
+                sequence=seq,
+                send_time_ms=round(seq * self.packet_interval_ms),
+                packet_size=self.packet_size,
+            )
+            packets.append(packet)
+            return packet
+
+        current = new_packet()
+        for unit in units:
+            offset = 0
+            total = len(unit.data)
+            while True:
+                space = current.free() - PAYLOAD_HEADER_SIZE
+                if space <= 0:
+                    current = new_packet()
+                    continue
+                fragment = unit.data[offset : offset + space]
+                current.payloads.append(
+                    Payload(
+                        unit.stream_number,
+                        unit.object_number,
+                        offset,
+                        total,
+                        unit.timestamp_ms,
+                        unit.keyframe,
+                        fragment,
+                    )
+                )
+                offset += len(fragment)
+                if offset >= total:
+                    break
+                current = new_packet()
+        filled = [p for p in packets if p.payloads]
+        if self.pacing == "duration" and len(filled) > 1:
+            max_ts = max(
+                payload.timestamp_ms for p in filled for payload in p.payloads
+            )
+            for i, packet in enumerate(filled):
+                packet.send_time_ms = round(i * max_ts / (len(filled) - 1))
+        return filled
+
+
+@dataclass
+class LossReport:
+    """What the depacketizer saw per stream."""
+
+    delivered: Dict[int, int] = field(default_factory=dict)
+    lost: Dict[int, List[int]] = field(default_factory=dict)
+
+    def loss_rate(self, stream_number: int) -> float:
+        got = self.delivered.get(stream_number, 0)
+        missing = len(self.lost.get(stream_number, []))
+        total = got + missing
+        return missing / total if total else 0.0
+
+
+class Depacketizer:
+    """Reassembles media units from (possibly lossy) packet arrivals."""
+
+    def __init__(self) -> None:
+        self._fragments: Dict[Tuple[int, int], Dict[int, Payload]] = {}
+        self._meta: Dict[Tuple[int, int], Payload] = {}
+        self.completed: List[MediaUnit] = []
+        self._seen_objects: Dict[int, set] = {}
+        self._completed_objects: Dict[int, set] = {}
+
+    def push_packet(self, packet: DataPacket) -> List[MediaUnit]:
+        """Feed one packet; returns units completed by it (in order)."""
+        finished: List[MediaUnit] = []
+        for payload in packet.payloads:
+            key = (payload.stream_number, payload.object_number)
+            self._seen_objects.setdefault(payload.stream_number, set()).add(
+                payload.object_number
+            )
+            bucket = self._fragments.setdefault(key, {})
+            bucket[payload.offset] = payload
+            self._meta[key] = payload
+            have = sum(len(p.data) for p in bucket.values())
+            if have >= payload.object_size:
+                data = b"".join(
+                    bucket[offset].data for offset in sorted(bucket)
+                )
+                unit = MediaUnit(
+                    payload.stream_number,
+                    payload.object_number,
+                    payload.timestamp_ms,
+                    payload.keyframe,
+                    data[: payload.object_size],
+                )
+                finished.append(unit)
+                self.completed.append(unit)
+                self._completed_objects.setdefault(
+                    payload.stream_number, set()
+                ).add(payload.object_number)
+                del self._fragments[key]
+                del self._meta[key]
+        return finished
+
+    def units_for(self, stream_number: int) -> List[MediaUnit]:
+        return [
+            u for u in self.completed if u.stream_number == stream_number
+        ]
+
+    def loss_report(self) -> LossReport:
+        """Lost = seen-or-implied object numbers never completed.
+
+        Object numbers are dense per stream, so gaps below the maximum
+        completed number are losses even if no fragment arrived at all.
+        """
+        report = LossReport()
+        streams = set(self._seen_objects) | set(self._completed_objects)
+        for stream in streams:
+            done = self._completed_objects.get(stream, set())
+            seen = self._seen_objects.get(stream, set())
+            highest = max(seen | done, default=-1)
+            expected = set(range(highest + 1))
+            report.delivered[stream] = len(done)
+            report.lost[stream] = sorted(expected - done)
+        return report

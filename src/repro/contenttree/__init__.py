@@ -1,0 +1,32 @@
+"""Multiple-level content tree (paper §2.2–§2.4) and the Abstractor."""
+
+from .abstractor import (
+    Abstractor,
+    Summary,
+    linear_truncation,
+    tree_from_segments,
+)
+from .serialize import (
+    FORMAT_VERSION,
+    tree_from_dict,
+    tree_from_json,
+    tree_to_dict,
+    tree_to_json,
+)
+from .tree import ContentNode, ContentTree, ContentTreeError, build_example_tree
+
+__all__ = [
+    "Abstractor",
+    "ContentNode",
+    "ContentTree",
+    "ContentTreeError",
+    "FORMAT_VERSION",
+    "Summary",
+    "build_example_tree",
+    "linear_truncation",
+    "tree_from_dict",
+    "tree_from_json",
+    "tree_to_dict",
+    "tree_to_json",
+    "tree_from_segments",
+]

@@ -1,0 +1,162 @@
+"""Petri-net core: the paper's extended timed Petri net and its lineage.
+
+Public surface of :mod:`repro.core`:
+
+* base nets and analysis — :class:`PetriNet`, :class:`Marking`,
+  :func:`reachability_graph`, :func:`p_invariants`, …
+* timed semantics — :class:`TimedPetriNet`, :class:`TimedExecution`
+* interval algebra — :class:`TemporalRelation`, :class:`Interval`
+* OCPN / XOCPN compilers — :func:`compile_spec`, :func:`compile_xocpn`
+* the extended model — :class:`ExtendedPresentation`,
+  :class:`InteractivePlayer`, :class:`FloorControl`,
+  :class:`DistributedCoordinator`
+* prioritized baseline — :class:`PrioritizedPetriNet`
+* scheduling — :class:`PresentationTimeline`, :func:`qos_metrics`
+* builders/visualization — :class:`NetBuilder`, :class:`PresentationBuilder`,
+  :func:`net_to_dot`
+"""
+
+from .analysis import (
+    CoverabilityGraph,
+    ReachabilityGraph,
+    StateSpaceLimitExceeded,
+    bound,
+    conserved_token_count,
+    coverability_graph,
+    find_deadlocks,
+    is_bounded,
+    is_deadlock_free,
+    is_live,
+    is_free_choice,
+    is_p_invariant,
+    is_reachable,
+    is_reversible,
+    is_safe,
+    p_invariants,
+    reachability_graph,
+    reachability_graph_to_dot,
+    shortest_firing_sequence,
+    t_invariants,
+)
+from .builder import NetBuilder, PresentationBuilder
+from .extended import (
+    CONTROL_TRANSITIONS,
+    DistributedCoordinator,
+    ExtendedPresentation,
+    FloorControl,
+    Interaction,
+    InteractivePlayer,
+    PlayerEvent,
+    Segment,
+    SiteLink,
+    build_control_net,
+    build_floor_net,
+)
+from .intervals import Interval, TemporalRelation, relation_between, schedule_pair
+from .ocpn import (
+    CompiledOCPN,
+    Composite,
+    MediaLeaf,
+    OCPNCompiler,
+    Spec,
+    SpecError,
+    compile_spec,
+    parallel,
+    relabel,
+    repeat,
+    sequence,
+    spec_duration,
+    spec_intervals,
+    spec_leaves,
+    verify_schedule,
+)
+from .petri import (
+    Arc,
+    DuplicateNodeError,
+    Marking,
+    NotEnabledError,
+    PetriNet,
+    PetriNetError,
+    Place,
+    Transition,
+    UnknownNodeError,
+)
+from .pnml import (
+    PNMLError,
+    net_from_pnml,
+    net_to_pnml,
+    timed_net_from_pnml,
+    timed_net_to_pnml,
+)
+from .prioritized import PrioritizedPetriNet, PrioritizedScheduler, preemption_order
+from .structural import (
+    StructuralError,
+    commoner_check,
+    is_siphon,
+    is_trap,
+    marked_traps_in,
+    maximal_siphon_within,
+    maximal_trap_within,
+    minimal_siphons,
+    unmarked_siphons,
+)
+from .scheduler import (
+    PresentationTimeline,
+    QoSMetrics,
+    TimelineEntry,
+    qos_metrics,
+    timeline_for,
+)
+from .timed import TimedEvent, TimedExecution, TimedPetriNet
+from .visualize import net_to_dot, timed_net_to_dot, timeline_to_ascii, timeline_to_svg
+from .xocpn import (
+    Channel,
+    CompiledXOCPN,
+    QoSRequirement,
+    StallReport,
+    XOCPNCompiler,
+    compile_xocpn,
+    measure_stalls,
+)
+
+__all__ = [
+    # petri
+    "Arc", "DuplicateNodeError", "Marking", "NotEnabledError", "PetriNet",
+    "PetriNetError", "Place", "Transition", "UnknownNodeError",
+    # analysis
+    "CoverabilityGraph", "ReachabilityGraph", "StateSpaceLimitExceeded",
+    "bound", "conserved_token_count", "coverability_graph", "find_deadlocks",
+    "is_bounded", "is_deadlock_free", "is_free_choice", "is_live", "is_p_invariant", "is_reachable",
+    "is_reversible", "is_safe", "p_invariants", "reachability_graph",
+    "reachability_graph_to_dot", "shortest_firing_sequence", "t_invariants",
+    # timed
+    "TimedEvent", "TimedExecution", "TimedPetriNet",
+    # intervals
+    "Interval", "TemporalRelation", "relation_between", "schedule_pair",
+    # ocpn
+    "CompiledOCPN", "Composite", "MediaLeaf", "OCPNCompiler", "Spec",
+    "SpecError", "compile_spec", "parallel", "relabel", "repeat", "sequence", "spec_duration",
+    "spec_intervals", "spec_leaves", "verify_schedule",
+    # xocpn
+    "Channel", "CompiledXOCPN", "QoSRequirement", "StallReport",
+    "XOCPNCompiler", "compile_xocpn", "measure_stalls",
+    # extended
+    "CONTROL_TRANSITIONS", "DistributedCoordinator", "ExtendedPresentation",
+    "FloorControl", "Interaction", "InteractivePlayer", "PlayerEvent",
+    "Segment", "SiteLink", "build_control_net", "build_floor_net",
+    # prioritized
+    "PrioritizedPetriNet", "PrioritizedScheduler", "preemption_order",
+    # pnml
+    "PNMLError", "net_from_pnml", "net_to_pnml", "timed_net_from_pnml",
+    "timed_net_to_pnml",
+    # structural
+    "StructuralError", "commoner_check", "is_siphon", "is_trap",
+    "marked_traps_in", "maximal_siphon_within", "maximal_trap_within",
+    "minimal_siphons", "unmarked_siphons",
+    # scheduler
+    "PresentationTimeline", "QoSMetrics", "TimelineEntry", "qos_metrics",
+    "timeline_for",
+    # builder / visualize
+    "NetBuilder", "PresentationBuilder", "net_to_dot", "timed_net_to_dot",
+    "timeline_to_ascii", "timeline_to_svg",
+]

@@ -1,0 +1,137 @@
+"""Fluent construction helpers for nets and presentation specs.
+
+Two small DSLs:
+
+* :class:`NetBuilder` — chainable construction of raw Petri nets, used
+  heavily in tests ("place p1 with 1 token, transition t, arc p1->t").
+* :class:`PresentationBuilder` — builds the segment list of a lecture
+  (each segment = slide image shown in parallel with a video interval,
+  plus optional annotations), the structure Figures 6–7 of the paper show.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .extended import ExtendedPresentation, Segment
+from .intervals import TemporalRelation
+from .ocpn import Composite, MediaLeaf, Spec, SpecError, parallel, sequence
+from .petri import PetriNet
+
+
+class NetBuilder:
+    """Chainable Petri-net construction.
+
+    Examples
+    --------
+    >>> net = (NetBuilder("demo")
+    ...        .place("p", tokens=1)
+    ...        .transition("t")
+    ...        .arc("p", "t")
+    ...        .build())
+    >>> net.enabled()
+    ['t']
+    """
+
+    def __init__(self, name: str = "net") -> None:
+        self._net = PetriNet(name)
+
+    def place(self, name: str, *, tokens: int = 0, capacity: Optional[int] = None,
+              label: str = "") -> "NetBuilder":
+        self._net.add_place(name, tokens=tokens, capacity=capacity, label=label)
+        return self
+
+    def places(self, *names: str) -> "NetBuilder":
+        for name in names:
+            self._net.add_place(name)
+        return self
+
+    def transition(self, name: str, *, priority: int = 0, label: str = "") -> "NetBuilder":
+        self._net.add_transition(name, priority=priority, label=label)
+        return self
+
+    def transitions(self, *names: str) -> "NetBuilder":
+        for name in names:
+            self._net.add_transition(name)
+        return self
+
+    def arc(self, source: str, target: str, *, weight: int = 1,
+            inhibitor: bool = False) -> "NetBuilder":
+        self._net.add_arc(source, target, weight=weight, inhibitor=inhibitor)
+        return self
+
+    def chain(self, *nodes: str) -> "NetBuilder":
+        """Arc each consecutive pair: ``chain("p1","t1","p2")``."""
+        for src, dst in zip(nodes, nodes[1:]):
+            self._net.add_arc(src, dst)
+        return self
+
+    def marking(self, **tokens: int) -> "NetBuilder":
+        self._net.set_marking(tokens)
+        return self
+
+    def build(self) -> PetriNet:
+        self._net.validate()
+        return self._net
+
+
+class PresentationBuilder:
+    """Builds a lecture presentation segment by segment.
+
+    Each :meth:`slide` call adds one synchronization segment: the slide
+    image displayed for the whole segment, the video/audio interval playing
+    in parallel, and any annotations shown DURING the segment at an offset.
+    """
+
+    def __init__(self, name: str = "lecture") -> None:
+        self.name = name
+        self._segments: List[Segment] = []
+        self._counter = 0
+
+    def slide(
+        self,
+        duration: float,
+        *,
+        name: Optional[str] = None,
+        with_audio: bool = False,
+        annotations: Sequence[tuple] = (),
+    ) -> "PresentationBuilder":
+        """Add a segment of ``duration`` seconds.
+
+        ``annotations`` is a sequence of ``(label, offset, length)`` shown
+        DURING the segment. Raises :class:`SpecError` if an annotation does
+        not fit inside the segment.
+        """
+        if duration <= 0:
+            raise SpecError("segment duration must be positive")
+        index = self._counter
+        self._counter += 1
+        seg_name = name or f"slide{index}"
+        video = MediaLeaf(f"video_{seg_name}", duration)
+        image = MediaLeaf(f"image_{seg_name}", duration)
+        parts: List[Spec] = [video, image]
+        if with_audio:
+            parts.append(MediaLeaf(f"audio_{seg_name}", duration))
+        spec: Spec = parallel(*parts)
+        for label, offset, length in annotations:
+            if offset <= 0 or offset + length >= duration:
+                raise SpecError(
+                    f"annotation {label!r} ({offset}+{length}) does not fit "
+                    f"strictly inside segment of {duration}s"
+                )
+            spec = Composite(
+                TemporalRelation.DURING,
+                MediaLeaf(f"note_{seg_name}_{label}", length),
+                spec,
+                delay=offset,
+            )
+        self._segments.append(Segment(seg_name, spec))
+        return self
+
+    def segment(self, name: str, spec: Spec) -> "PresentationBuilder":
+        """Add a fully custom segment."""
+        self._segments.append(Segment(name, spec))
+        return self
+
+    def build(self) -> ExtendedPresentation:
+        return ExtendedPresentation(self._segments, name=self.name)

@@ -1,0 +1,193 @@
+"""PNML-style XML interchange for Petri nets.
+
+A pragmatic subset of the PNML standard (ISO/IEC 15909-2): places with
+initial markings, transitions, weighted arcs, plus two tool-specific
+extensions carried in ``<toolspecific tool="repro">`` elements — place
+durations (timed nets) and inhibitor arcs — so every net this library
+builds round-trips losslessly. Files written here open in PNML-aware
+editors (ignoring the tool-specific parts), and plain PNML from other
+tools loads here.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, Optional, Tuple
+
+from .petri import PetriNet, PetriNetError
+from .timed import TimedPetriNet
+
+_TOOL = "repro"
+
+
+class PNMLError(PetriNetError):
+    """Malformed or unsupported PNML input."""
+
+
+def _text_child(parent: ET.Element, tag: str, text: str) -> ET.Element:
+    outer = ET.SubElement(parent, tag)
+    inner = ET.SubElement(outer, "text")
+    inner.text = text
+    return outer
+
+
+def net_to_pnml(
+    net: PetriNet, *, durations: Optional[Dict[str, float]] = None
+) -> str:
+    """Serialize a net (optionally with place durations) to PNML XML."""
+    root = ET.Element("pnml")
+    net_el = ET.SubElement(
+        root, "net",
+        id=net.name or "net",
+        type="http://www.pnml.org/version-2009/grammar/ptnet",
+    )
+    page = ET.SubElement(net_el, "page", id="page0")
+
+    for place in net.places:
+        place_el = ET.SubElement(page, "place", id=place.name)
+        _text_child(place_el, "name", place.label or place.name)
+        tokens = net.initial_marking[place.name]
+        if tokens:
+            _text_child(place_el, "initialMarking", str(tokens))
+        extras = []
+        duration = (durations or {}).get(place.name)
+        if duration:
+            extras.append(("duration", f"{duration!r}"))
+        if place.capacity is not None:
+            extras.append(("capacity", str(place.capacity)))
+        if extras:
+            tool = ET.SubElement(
+                place_el, "toolspecific", tool=_TOOL, version="1"
+            )
+            for key, value in extras:
+                ET.SubElement(tool, key).text = value
+
+    for transition in net.transitions:
+        transition_el = ET.SubElement(page, "transition", id=transition.name)
+        _text_child(transition_el, "name", transition.label or transition.name)
+        if transition.priority:
+            tool = ET.SubElement(
+                transition_el, "toolspecific", tool=_TOOL, version="1"
+            )
+            ET.SubElement(tool, "priority").text = str(transition.priority)
+
+    arc_index = 0
+    for transition in net.transitions:
+        name = transition.name
+        for place, weight in net.inputs(name).items():
+            arc_el = ET.SubElement(
+                page, "arc", id=f"a{arc_index}", source=place, target=name
+            )
+            arc_index += 1
+            if weight != 1:
+                _text_child(arc_el, "inscription", str(weight))
+        for place, weight in net.outputs(name).items():
+            arc_el = ET.SubElement(
+                page, "arc", id=f"a{arc_index}", source=name, target=place
+            )
+            arc_index += 1
+            if weight != 1:
+                _text_child(arc_el, "inscription", str(weight))
+        for place, weight in net.inhibitors(name).items():
+            arc_el = ET.SubElement(
+                page, "arc", id=f"a{arc_index}", source=place, target=name
+            )
+            arc_index += 1
+            if weight != 1:
+                _text_child(arc_el, "inscription", str(weight))
+            tool = ET.SubElement(arc_el, "toolspecific", tool=_TOOL, version="1")
+            ET.SubElement(tool, "inhibitor").text = "true"
+
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def timed_net_to_pnml(timed: TimedPetriNet) -> str:
+    return net_to_pnml(timed.net, durations=timed.durations)
+
+
+def _read_text(element: ET.Element, tag: str) -> Optional[str]:
+    child = element.find(f"{tag}/text")
+    return child.text if child is not None else None
+
+
+def _tool_element(element: ET.Element) -> Optional[ET.Element]:
+    for tool in element.findall("toolspecific"):
+        if tool.get("tool") == _TOOL:
+            return tool
+    return None
+
+
+def net_from_pnml(xml_text: str) -> Tuple[PetriNet, Dict[str, float]]:
+    """Parse PNML; returns ``(net, durations)``.
+
+    ``durations`` is empty for untimed input. Unknown toolspecific blocks
+    are ignored; structural errors raise :class:`PNMLError`.
+    """
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise PNMLError(f"invalid PNML XML: {exc}") from exc
+    net_el = root.find("net")
+    if net_el is None:
+        raise PNMLError("no <net> element")
+    net = PetriNet(net_el.get("id", "net"))
+    durations: Dict[str, float] = {}
+    marking: Dict[str, int] = {}
+
+    pages = net_el.findall("page") or [net_el]
+    for page in pages:
+        for place_el in page.findall("place"):
+            place_id = place_el.get("id")
+            if not place_id:
+                raise PNMLError("place without id")
+            label = _read_text(place_el, "name") or ""
+            capacity = None
+            tool = _tool_element(place_el)
+            if tool is not None:
+                duration_el = tool.find("duration")
+                if duration_el is not None and duration_el.text:
+                    durations[place_id] = float(duration_el.text)
+                capacity_el = tool.find("capacity")
+                if capacity_el is not None and capacity_el.text:
+                    capacity = int(capacity_el.text)
+            net.add_place(place_id, label=label, capacity=capacity)
+            initial = _read_text(place_el, "initialMarking")
+            if initial:
+                marking[place_id] = int(initial)
+
+        for transition_el in page.findall("transition"):
+            transition_id = transition_el.get("id")
+            if not transition_id:
+                raise PNMLError("transition without id")
+            label = _read_text(transition_el, "name") or ""
+            priority = 0
+            tool = _tool_element(transition_el)
+            if tool is not None:
+                priority_el = tool.find("priority")
+                if priority_el is not None and priority_el.text:
+                    priority = int(priority_el.text)
+            net.add_transition(transition_id, priority=priority, label=label)
+
+    for page in pages:
+        for arc_el in page.findall("arc"):
+            source = arc_el.get("source")
+            target = arc_el.get("target")
+            if not source or not target:
+                raise PNMLError("arc missing source/target")
+            weight_text = _read_text(arc_el, "inscription")
+            weight = int(weight_text) if weight_text else 1
+            inhibitor = False
+            tool = _tool_element(arc_el)
+            if tool is not None:
+                flag = tool.find("inhibitor")
+                inhibitor = flag is not None and flag.text == "true"
+            net.add_arc(source, target, weight=weight, inhibitor=inhibitor)
+
+    net.set_marking(marking)
+    return net, durations
+
+
+def timed_net_from_pnml(xml_text: str) -> TimedPetriNet:
+    net, durations = net_from_pnml(xml_text)
+    return TimedPetriNet(net, durations)

@@ -1,0 +1,199 @@
+"""Structural analysis: siphons, traps, and Commoner's condition.
+
+Murata's structural toolbox complements the behavioural analyses of
+:mod:`repro.core.analysis`:
+
+* a **siphon** is a place set S with ``•S ⊆ S•`` — once S is emptied no
+  transition can refill it, so an unmarked siphon is a permanent hole;
+* a **trap** is a place set S with ``S• ⊆ •S`` — once marked, S can never
+  be fully emptied;
+* **Commoner's condition** — every minimal siphon contains a trap marked
+  at M₀ — guarantees deadlock-freedom for free-choice nets, and is the
+  classical structural argument for nets like the floor-control net.
+
+Minimal-siphon enumeration is exponential in general; the implementation
+recursively restricts the candidate set and is comfortable for the control
+and floor nets of this system (≲ 30 places). A ``max_places`` guard
+refuses silently-expensive inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from .petri import Marking, PetriNet, PetriNetError
+
+
+class StructuralError(PetriNetError):
+    """Analysis refused (too large) or malformed input."""
+
+
+def _preset_of_places(net: PetriNet, places: Set[str]) -> Set[str]:
+    """Transitions with an output arc into any place of the set (•S)."""
+    result: Set[str] = set()
+    for place in places:
+        result.update(net.preset(place))
+    return result
+
+
+def _postset_of_places(net: PetriNet, places: Set[str]) -> Set[str]:
+    """Transitions with an input arc from any place of the set (S•)."""
+    result: Set[str] = set()
+    for place in places:
+        result.update(net.postset(place))
+    return result
+
+
+def is_siphon(net: PetriNet, places: Iterable[str]) -> bool:
+    """True if ``places`` is a (non-empty) siphon: •S ⊆ S•."""
+    subset = set(places)
+    if not subset:
+        return False
+    for place in subset:
+        net.place(place)
+    return _preset_of_places(net, subset) <= _postset_of_places(net, subset)
+
+
+def is_trap(net: PetriNet, places: Iterable[str]) -> bool:
+    """True if ``places`` is a (non-empty) trap: S• ⊆ •S."""
+    subset = set(places)
+    if not subset:
+        return False
+    for place in subset:
+        net.place(place)
+    return _postset_of_places(net, subset) <= _preset_of_places(net, subset)
+
+
+def maximal_siphon_within(net: PetriNet, places: Iterable[str]) -> Set[str]:
+    """The largest siphon contained in ``places`` (possibly empty).
+
+    Standard polynomial refinement: repeatedly drop any place fed by a
+    transition that takes no input from the current set.
+    """
+    current = set(places)
+    for place in current:
+        net.place(place)
+    changed = True
+    while changed and current:
+        changed = False
+        postset = _postset_of_places(net, current)
+        for place in list(current):
+            if any(t not in postset for t in net.preset(place)):
+                current.discard(place)
+                changed = True
+    return current
+
+
+def maximal_trap_within(net: PetriNet, places: Iterable[str]) -> Set[str]:
+    """The largest trap contained in ``places`` (possibly empty)."""
+    current = set(places)
+    for place in current:
+        net.place(place)
+    changed = True
+    while changed and current:
+        changed = False
+        preset = _preset_of_places(net, current)
+        for place in list(current):
+            if any(t not in preset for t in net.postset(place)):
+                current.discard(place)
+                changed = True
+    return current
+
+
+def minimal_siphons(
+    net: PetriNet, *, max_places: int = 30, limit: int = 10_000
+) -> List[FrozenSet[str]]:
+    """All minimal (inclusion-wise) siphons of the net.
+
+    Recursive branch-and-bound over place subsets; exponential worst case,
+    guarded by ``max_places`` (structure size) and ``limit`` (result+node
+    budget). Suitable for control-scale nets, not arbitrary models.
+    """
+    place_names = [p.name for p in net.places]
+    if len(place_names) > max_places:
+        raise StructuralError(
+            f"net has {len(place_names)} places; minimal-siphon enumeration "
+            f"is capped at {max_places} (raise max_places explicitly)"
+        )
+    found: List[FrozenSet[str]] = []
+    budget = [limit]
+
+    def add_minimal(candidate: FrozenSet[str]) -> None:
+        nonlocal found
+        for existing in found:
+            if existing <= candidate:
+                return
+        found = [f for f in found if not candidate <= f]
+        found.append(candidate)
+
+    def search(allowed: Set[str], required: Set[str]) -> None:
+        """Find minimal siphons within ``allowed`` containing ``required``."""
+        if budget[0] <= 0:
+            raise StructuralError("siphon enumeration budget exceeded")
+        budget[0] -= 1
+        siphon = maximal_siphon_within(net, allowed)
+        if not required <= siphon:
+            return
+        if not siphon:
+            return
+        # shrink: try removing each non-required place
+        removable = sorted(siphon - required)
+        if not removable:
+            add_minimal(frozenset(siphon))
+            return
+        shrunk = False
+        for place in removable:
+            smaller = maximal_siphon_within(net, siphon - {place})
+            if required <= smaller and smaller:
+                shrunk = True
+                search(smaller, required)
+        if not shrunk:
+            add_minimal(frozenset(siphon))
+
+    all_places = set(place_names)
+    base = maximal_siphon_within(net, all_places)
+    for place in sorted(base):
+        search(base, {place})
+    return sorted(found, key=lambda s: (len(s), sorted(s)))
+
+
+def marked_traps_in(
+    net: PetriNet, siphon: Iterable[str], marking: Optional[Marking] = None
+) -> Set[str]:
+    """The maximal trap inside ``siphon`` that is marked under ``marking``.
+
+    Returns the trap (possibly empty set if none / unmarked).
+    """
+    m = net.initial_marking if marking is None else marking
+    trap = maximal_trap_within(net, siphon)
+    if trap and any(m[p] > 0 for p in trap):
+        return trap
+    return set()
+
+
+def commoner_check(
+    net: PetriNet, *, max_places: int = 30
+) -> Dict[FrozenSet[str], bool]:
+    """Commoner's condition per minimal siphon.
+
+    Maps each minimal siphon to True when it contains a trap marked at the
+    initial marking. All-True implies deadlock-freedom for free-choice
+    nets (and is strong evidence for others — the floor-control and
+    control nets of this system satisfy it by construction).
+    """
+    result: Dict[FrozenSet[str], bool] = {}
+    for siphon in minimal_siphons(net, max_places=max_places):
+        result[siphon] = bool(marked_traps_in(net, siphon))
+    return result
+
+
+def unmarked_siphons(
+    net: PetriNet, marking: Optional[Marking] = None, *, max_places: int = 30
+) -> List[FrozenSet[str]]:
+    """Minimal siphons empty under ``marking`` — each is a dead spot."""
+    m = net.initial_marking if marking is None else marking
+    return [
+        siphon
+        for siphon in minimal_siphons(net, max_places=max_places)
+        if all(m[p] == 0 for p in siphon)
+    ]

@@ -1,0 +1,247 @@
+"""The Web Publishing Manager — Figure 5 of the paper.
+
+"User must fill the path of video file (MPEG4) and the directory of the
+presented slides", choose the server HTTP port / URL and a bandwidth
+profile; the system then produces the synchronized ASF automatically and
+publishes it. This module reproduces that workflow end-to-end over the
+simulated web:
+
+* :class:`MediaStore` — the "file system" the form's paths point into;
+* :class:`WebPublishingManager` — the form handler: validates the fields,
+  runs the :class:`~repro.lod.orchestrator.Orchestrator`, publishes the
+  result on the :class:`~repro.streaming.server.MediaServer`, and stores
+  the content tree for per-level replay;
+* an HTTP endpoint (``POST /publish``) so the whole Fig. 5 interaction —
+  fill the form in a browser, get back the playback URL — runs over the
+  simulated network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..asf.drm import LicenseServer
+from ..contenttree.serialize import tree_from_json
+from ..media.objects import ImageObject, VideoObject
+from ..media.profiles import PROFILE_BY_NAME, BandwidthProfile, get_profile
+from ..streaming.server import MediaServer
+from ..web.http import HTTPError, HTTPRequest, HTTPResponse, form_decode
+from .lecture import Lecture, LectureError, LectureSegment
+from .orchestrator import OrchestrationResult, Orchestrator
+
+
+class PublishFormError(LectureError):
+    """Bad or missing publishing-form fields."""
+
+
+class MediaStore:
+    """Named storage standing in for the teacher's disk.
+
+    The Fig. 5 form references media by *path*; the store maps those paths
+    to media objects. ``register_lecture`` is the common case: one video
+    path plus one slide directory.
+    """
+
+    def __init__(self) -> None:
+        self._videos: Dict[str, VideoObject] = {}
+        self._slide_dirs: Dict[str, List[Tuple[ImageObject, float]]] = {}
+        self._lectures: Dict[Tuple[str, str], Lecture] = {}
+
+    def register_video(self, path: str, video: VideoObject) -> None:
+        self._videos[path] = video
+
+    def register_slides(
+        self, directory: str, slides: List[Tuple[ImageObject, float]]
+    ) -> None:
+        """``slides`` is (image, show_at_seconds) in presentation order."""
+        self._slide_dirs[directory] = list(slides)
+
+    def register_lecture(self, video_path: str, slide_dir: str, lecture: Lecture) -> None:
+        """Register a complete lecture under a (video path, slide dir) pair."""
+        self._videos[video_path] = lecture.video
+        self._slide_dirs[slide_dir] = [(s.slide, s.start) for s in lecture.segments]
+        self._lectures[(video_path, slide_dir)] = lecture
+
+    def lookup_lecture(self, video_path: str, slide_dir: str) -> Lecture:
+        key = (video_path, slide_dir)
+        if key in self._lectures:
+            return self._lectures[key]
+        # assemble a lecture from separately registered parts
+        if video_path not in self._videos:
+            raise PublishFormError(f"video path not found: {video_path!r}")
+        if slide_dir not in self._slide_dirs:
+            raise PublishFormError(f"slide directory not found: {slide_dir!r}")
+        video = self._videos[video_path]
+        slides = self._slide_dirs[slide_dir]
+        if not slides:
+            raise PublishFormError(f"slide directory {slide_dir!r} is empty")
+        segments = []
+        ordered = sorted(slides, key=lambda pair: pair[1])
+        for i, (image, start) in enumerate(ordered):
+            end = (
+                ordered[i + 1][1] if i + 1 < len(ordered) else video.duration
+            )
+            segments.append(
+                LectureSegment(
+                    name=image.name,
+                    slide=image,
+                    start=start,
+                    duration=end - start,
+                )
+            )
+        return Lecture(
+            title=video.name,
+            author="unknown",
+            video=video,
+            segments=segments,
+        )
+
+
+@dataclass
+class PublishedLecture:
+    """Record of one published lecture."""
+
+    point: str
+    url: str
+    result: OrchestrationResult
+    profile: str
+
+
+class WebPublishingManager:
+    """The Fig. 5 form backend on a media server."""
+
+    REQUIRED_FIELDS = ("video_path", "slide_dir", "point")
+
+    def __init__(
+        self,
+        media_server: MediaServer,
+        store: MediaStore,
+        *,
+        license_server: Optional[LicenseServer] = None,
+        default_profile: str = "dsl-256k",
+    ) -> None:
+        self.media_server = media_server
+        self.store = store
+        self.license_server = license_server
+        self.default_profile = default_profile
+        self.published: Dict[str, PublishedLecture] = {}
+        media_server.http.route("POST", "/publish", self._handle_publish_form)
+        media_server.http.route("GET", "/publish", self._handle_form_page)
+        media_server.http.route("GET", "/tree/", self._handle_tree)
+        media_server.http.route("GET", "/catalog", self._handle_catalog)
+        media_server.http.route("GET", "/", self._handle_catalog_page)
+
+    # ------------------------------------------------------------------
+    # programmatic API
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        *,
+        video_path: str,
+        slide_dir: str,
+        point: str,
+        profile: Optional[str] = None,
+        protect: bool = False,
+    ) -> PublishedLecture:
+        """Validate, orchestrate, publish; returns the playback record."""
+        profile_name = profile or self.default_profile
+        if profile_name not in PROFILE_BY_NAME:
+            raise PublishFormError(
+                f"unknown profile {profile_name!r}; choose from "
+                f"{sorted(PROFILE_BY_NAME)}"
+            )
+        if point in self.published:
+            raise PublishFormError(f"publishing point {point!r} already in use")
+        lecture = self.store.lookup_lecture(video_path, slide_dir)
+        orchestrator = Orchestrator(
+            get_profile(profile_name),
+            license_server=self.license_server if protect else None,
+        )
+        result = orchestrator.orchestrate(lecture, file_id=point)
+        self.media_server.publish(point, result.asf, description=lecture.title)
+        record = PublishedLecture(
+            point=point,
+            url=self.media_server.url_of(point),
+            result=result,
+            profile=profile_name,
+        )
+        self.published[point] = record
+        return record
+
+    def content_tree_of(self, point: str):
+        if point not in self.published:
+            raise PublishFormError(f"nothing published at {point!r}")
+        return tree_from_json(self.published[point].result.content_tree_json)
+
+    # ------------------------------------------------------------------
+    # HTTP form endpoints (the Fig. 5 web UI)
+    # ------------------------------------------------------------------
+
+    def _handle_publish_form(self, request: HTTPRequest) -> HTTPResponse:
+        if isinstance(request.body, str):
+            fields = form_decode(request.body)
+        elif isinstance(request.body, dict):
+            fields = {k: str(v) for k, v in request.body.items()}
+        else:
+            return HTTPResponse(400, body="expected a publish form")
+        missing = [f for f in self.REQUIRED_FIELDS if not fields.get(f)]
+        if missing:
+            return HTTPResponse(400, body=f"missing form fields: {missing}")
+        try:
+            record = self.publish(
+                video_path=fields["video_path"],
+                slide_dir=fields["slide_dir"],
+                point=fields["point"],
+                profile=fields.get("profile") or None,
+                protect=fields.get("protect", "").lower() in ("1", "true", "yes"),
+            )
+        except (PublishFormError, LectureError) as exc:
+            return HTTPResponse(400, body=str(exc))
+        return HTTPResponse(
+            200,
+            body={
+                "url": record.url,
+                "point": record.point,
+                "profile": record.profile,
+                "duration": record.result.duration,
+                "verification_error": record.result.verification_error,
+            },
+        )
+
+    def _handle_tree(self, request: HTTPRequest) -> HTTPResponse:
+        point = request.path[len("/tree/"):]
+        if point not in self.published:
+            return HTTPResponse(404, body=f"nothing published at {point!r}")
+        return HTTPResponse(
+            200, body=self.published[point].result.content_tree_json
+        )
+
+    def _handle_catalog(self, request: HTTPRequest) -> HTTPResponse:
+        return HTTPResponse(200, body=self._catalog_entries())
+
+    def _catalog_entries(self):
+        return [
+            {
+                "point": record.point,
+                "url": record.url,
+                "title": record.result.lecture.title,
+                "duration": record.result.duration,
+            }
+            for record in self.published.values()
+        ]
+
+    # -- human-facing HTML pages (the Fig. 5 browser views) ---------------
+
+    def _handle_form_page(self, request: HTTPRequest) -> HTTPResponse:
+        from ..web.pages import render_publish_form
+
+        page = render_publish_form(sorted(PROFILE_BY_NAME))
+        return HTTPResponse(200, body=page, headers={"Content-Type": "text/html"})
+
+    def _handle_catalog_page(self, request: HTTPRequest) -> HTTPResponse:
+        from ..web.pages import render_catalog
+
+        page = render_catalog(self._catalog_entries())
+        return HTTPResponse(200, body=page, headers={"Content-Type": "text/html"})

@@ -1,0 +1,121 @@
+"""Presentation clocks: mapping wall time to media time.
+
+The renderer and the script-command dispatcher both need "what is the
+presentation time now?" under pause/resume and speed changes; the encoder
+needs millisecond *send times* for packets. :class:`PresentationClock`
+answers the first, :class:`TimestampGenerator` the second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+class ClockError(Exception):
+    """Clock misuse (e.g. pausing a paused clock)."""
+
+
+class PresentationClock:
+    """Piecewise-linear media clock driven by explicit wall time.
+
+    All methods take the current wall time; the clock never reads a real
+    OS clock, so simulations are deterministic. Supports pause/resume and
+    rate changes; :meth:`media_time` is the presentation position.
+    """
+
+    def __init__(self, *, rate: float = 1.0) -> None:
+        if rate <= 0:
+            raise ClockError("rate must be positive")
+        self._rate = rate
+        self._anchor_wall: Optional[float] = None  # None = not started
+        self._anchor_media = 0.0
+        self._paused = False
+
+    @property
+    def started(self) -> bool:
+        return self._anchor_wall is not None
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def start(self, wall_time: float, *, media_time: float = 0.0) -> None:
+        if self.started:
+            raise ClockError("clock already started")
+        self._anchor_wall = wall_time
+        self._anchor_media = media_time
+
+    def media_time(self, wall_time: float) -> float:
+        """Presentation position at ``wall_time``."""
+        if not self.started:
+            return self._anchor_media
+        if self._paused:
+            return self._anchor_media
+        return self._anchor_media + (wall_time - self._anchor_wall) * self._rate
+
+    def pause(self, wall_time: float) -> None:
+        if not self.started or self._paused:
+            raise ClockError("cannot pause: clock not running")
+        self._anchor_media = self.media_time(wall_time)
+        self._paused = True
+
+    def resume(self, wall_time: float) -> None:
+        if not self._paused:
+            raise ClockError("cannot resume: clock not paused")
+        self._anchor_wall = wall_time
+        self._paused = False
+
+    def set_rate(self, wall_time: float, rate: float) -> None:
+        if rate <= 0:
+            raise ClockError("rate must be positive")
+        self._anchor_media = self.media_time(wall_time)
+        self._anchor_wall = wall_time
+        self._rate = rate
+
+    def seek(self, wall_time: float, media_time: float) -> None:
+        if media_time < 0:
+            raise ClockError("media time must be >= 0")
+        self._anchor_media = media_time
+        self._anchor_wall = wall_time
+
+    def wall_time_of(self, wall_now: float, media_time: float) -> float:
+        """Wall time at which ``media_time`` will be reached (running clock)."""
+        if not self.started or self._paused:
+            raise ClockError("clock is not running")
+        return wall_now + (media_time - self.media_time(wall_now)) / self._rate
+
+
+@dataclass
+class TimestampGenerator:
+    """Millisecond presentation timestamps for packetization.
+
+    ASF timestamps are 32-bit milliseconds with a configurable preroll (the
+    player buffers ``preroll_ms`` before rendering). The generator converts
+    float seconds to the wire representation and back, asserting
+    monotonicity the way the real indexer does.
+    """
+
+    preroll_ms: int = 3_000
+    _last: int = -1
+
+    def to_wire(self, seconds: float) -> int:
+        if seconds < 0:
+            raise ClockError("timestamps must be >= 0")
+        ms = round(seconds * 1000) + self.preroll_ms
+        if ms < self._last:
+            raise ClockError(
+                f"non-monotonic timestamp: {ms}ms after {self._last}ms"
+            )
+        self._last = ms
+        return ms
+
+    def from_wire(self, ms: int) -> float:
+        return max(0, ms - self.preroll_ms) / 1000.0
+
+    def reset(self) -> None:
+        self._last = -1

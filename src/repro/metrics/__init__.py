@@ -1,0 +1,24 @@
+"""Metrics: sample statistics and per-experiment collectors."""
+
+from .collector import MetricsCollector, Sample
+from .stats import (
+    StatsError,
+    Summary,
+    format_table,
+    jain_index,
+    mean,
+    percentile,
+    stdev,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "Sample",
+    "StatsError",
+    "Summary",
+    "format_table",
+    "jain_index",
+    "mean",
+    "percentile",
+    "stdev",
+]

@@ -1,0 +1,23 @@
+"""Discrete-event network simulator: engine, links, transport, QoS."""
+
+from .engine import EventHandle, PeriodicTask, SimulationError, Simulator
+from .link import DuplexLink, Link, LinkStats
+from .qos import QoSError, QoSManager, QoSSpec, Reservation
+from .transport import DatagramChannel, Message, ReliableChannel
+
+__all__ = [
+    "DatagramChannel",
+    "DuplexLink",
+    "EventHandle",
+    "Link",
+    "LinkStats",
+    "Message",
+    "PeriodicTask",
+    "QoSError",
+    "QoSManager",
+    "QoSSpec",
+    "ReliableChannel",
+    "Reservation",
+    "SimulationError",
+    "Simulator",
+]

@@ -1,0 +1,146 @@
+"""Discrete-event simulation engine — the clock under every network run.
+
+A minimal but complete DES core: events are ``(time, priority, seq,
+callback)`` entries in a heap; :meth:`Simulator.run_until` executes them in
+order, advancing :attr:`Simulator.now`. Everything in :mod:`repro.net`,
+:mod:`repro.web` and :mod:`repro.streaming` schedules onto one shared
+simulator, so a whole lecture delivery (server pacing, link queues, client
+rendering) is one deterministic event sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+class SimulationError(Exception):
+    """Scheduling misuse (negative delays, running backwards...)."""
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Returned by :meth:`Simulator.schedule`; lets callers cancel."""
+
+    time: float
+    seq: int
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[Tuple[float, int, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._cancelled: set = set()
+        self.events_processed = 0
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], *, priority: int = 0
+    ) -> EventHandle:
+        """Run ``callback`` ``delay`` seconds from now.
+
+        Ties on time break by ``priority`` (lower first), then insertion
+        order — so a send scheduled before a receive at the same instant
+        stays ordered.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        seq = next(self._seq)
+        heapq.heappush(self._queue, (self.now + delay, priority, seq, callback))
+        return EventHandle(self.now + delay, seq)
+
+    def schedule_at(
+        self, when: float, callback: Callable[[], None], *, priority: int = 0
+    ) -> EventHandle:
+        if when < self.now:
+            raise SimulationError(f"cannot schedule at {when} < now {self.now}")
+        return self.schedule(when - self.now, callback, priority=priority)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a pending event (no-op if it already ran)."""
+        self._cancelled.add(handle.seq)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None."""
+        while self._queue and self._queue[0][2] in self._cancelled:
+            self._cancelled.discard(heapq.heappop(self._queue)[2])
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> bool:
+        """Execute the next event; False when the queue is empty."""
+        while self._queue:
+            time, _, seq, callback = heapq.heappop(self._queue)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            self.now = time
+            callback()
+            self.events_processed += 1
+            return True
+        return False
+
+    def run_until(self, when: float, *, max_events: int = 1_000_000) -> None:
+        """Process every event up to (and including) time ``when``."""
+        if when < self.now:
+            raise SimulationError("cannot run backwards")
+        processed = 0
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > when:
+                break
+            self.step()
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"more than {max_events} events before t={when} "
+                    "(livelock in the model?)"
+                )
+        self.now = when
+
+    def run(self, *, max_events: int = 1_000_000) -> None:
+        """Process events until the queue drains."""
+        processed = 0
+        while self.step():
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(f"more than {max_events} events (livelock?)")
+
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if e[2] not in self._cancelled)
+
+
+class PeriodicTask:
+    """A repeating event: reschedules itself every ``interval`` seconds
+    until :meth:`stop` — e.g. a client's render tick or a beacon sender."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        start_delay: float = 0.0,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+        self.simulator = simulator
+        self.interval = interval
+        self.callback = callback
+        self._stopped = False
+        self.ticks = 0
+        simulator.schedule(start_delay, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.callback()
+        self.ticks += 1
+        if not self._stopped:
+            self.simulator.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True

@@ -1,0 +1,149 @@
+"""Network links: bandwidth, propagation delay, jitter, loss, queueing.
+
+A :class:`Link` is a unidirectional FIFO pipe on the shared simulator:
+transmitting ``n`` bytes takes ``n·8/bandwidth`` of serialization after the
+link becomes free (finite queue: packets beyond ``queue_limit`` in flight
+are tail-dropped), then ``delay ± jitter`` of propagation, then the
+receiver callback runs. Random loss is applied per packet with a seeded
+RNG, so runs are reproducible.
+
+This is the substitution for the paper's campus network between the
+Windows Media server and the students' browsers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .engine import SimulationError, Simulator
+
+
+@dataclass
+class LinkStats:
+    """Counters a link accumulates over a run."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_queue: int = 0
+    bytes_delivered: int = 0
+
+    @property
+    def loss_rate(self) -> float:
+        return 1 - self.delivered / self.sent if self.sent else 0.0
+
+
+class Link:
+    """A unidirectional link with finite queue and random loss."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        bandwidth: float = 1_000_000.0,  # bits/second
+        delay: float = 0.02,  # propagation seconds
+        jitter: float = 0.0,  # uniform ± seconds on propagation
+        loss_rate: float = 0.0,
+        queue_limit: int = 64,  # packets queued awaiting serialization
+        seed: int = 0,
+        name: str = "link",
+    ) -> None:
+        if bandwidth <= 0:
+            raise SimulationError("bandwidth must be positive")
+        if delay < 0 or jitter < 0:
+            raise SimulationError("delay/jitter must be >= 0")
+        if not 0 <= loss_rate < 1:
+            raise SimulationError("loss_rate must be in [0, 1)")
+        if queue_limit < 1:
+            raise SimulationError("queue_limit must be >= 1")
+        self.simulator = simulator
+        self.bandwidth = bandwidth
+        self.delay = delay
+        self.jitter = jitter
+        self.loss_rate = loss_rate
+        self.queue_limit = queue_limit
+        self.name = name
+        self.rng = random.Random(seed)
+        self.stats = LinkStats()
+        self._busy_until = 0.0
+        self._queued = 0
+
+    def serialization_time(self, size_bytes: int) -> float:
+        return size_bytes * 8 / self.bandwidth
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queued
+
+    def utilization_until(self) -> float:
+        """Time at which the link drains everything already accepted."""
+        return max(self._busy_until, self.simulator.now)
+
+    def transmit(
+        self,
+        size_bytes: int,
+        on_delivery: Callable[[], None],
+        *,
+        on_drop: Optional[Callable[[str], None]] = None,
+    ) -> bool:
+        """Enqueue a packet; returns False if tail-dropped immediately.
+
+        ``on_delivery`` runs at the receiver when the packet arrives;
+        ``on_drop(reason)`` runs (immediately for queue drops, at
+        would-have-arrived time for loss) when it does not.
+        """
+        if size_bytes <= 0:
+            raise SimulationError("packet size must be positive")
+        self.stats.sent += 1
+        if self._queued >= self.queue_limit:
+            self.stats.dropped_queue += 1
+            if on_drop is not None:
+                on_drop("queue")
+            return False
+        start = max(self._busy_until, self.simulator.now)
+        finish = start + self.serialization_time(size_bytes)
+        self._busy_until = finish
+        self._queued += 1
+
+        propagation = self.delay
+        if self.jitter > 0:
+            propagation = max(0.0, propagation + self.rng.uniform(-self.jitter, self.jitter))
+        lost = self.rng.random() < self.loss_rate
+
+        def serialized() -> None:
+            self._queued -= 1
+
+        self.simulator.schedule_at(finish, serialized, priority=-1)
+
+        arrival = finish + propagation
+        if lost:
+            self.stats.dropped_loss += 1
+            if on_drop is not None:
+                self.simulator.schedule_at(arrival, lambda: on_drop("loss"))
+            return True
+
+        def delivered() -> None:
+            self.stats.delivered += 1
+            self.stats.bytes_delivered += size_bytes
+            on_delivery()
+
+        self.simulator.schedule_at(arrival, delivered)
+        return True
+
+
+@dataclass
+class DuplexLink:
+    """A symmetric pair of links (client↔server convenience)."""
+
+    forward: Link
+    backward: Link
+
+    @classmethod
+    def create(cls, simulator: Simulator, *, seed: int = 0, name: str = "duplex",
+               **kwargs) -> "DuplexLink":
+        return cls(
+            forward=Link(simulator, seed=seed, name=f"{name}-fwd", **kwargs),
+            backward=Link(simulator, seed=seed + 1, name=f"{name}-bwd", **kwargs),
+        )

@@ -1,0 +1,120 @@
+"""QoS channel management — the XOCPN idea made operational.
+
+XOCPN "set[s] up channels according to the required QoS of the data"
+(paper §1). :class:`QoSManager` performs admission control over a link's
+capacity: a reservation names a bandwidth (plus optional latency/loss
+requirements the link must structurally satisfy); admitted reservations
+subtract from available capacity until released. The streaming server uses
+this to decide whether a new client at a given profile can be admitted or
+must be offered a lower profile.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .engine import SimulationError
+from .link import Link
+
+
+class QoSError(Exception):
+    """Admission failures and reservation misuse."""
+
+
+@dataclass(frozen=True)
+class QoSSpec:
+    """What a media stream needs from the network."""
+
+    bandwidth: float  # bits/second
+    max_latency: Optional[float] = None  # seconds, propagation bound
+    max_loss: Optional[float] = None  # fraction
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise QoSError("bandwidth must be positive")
+        if self.max_latency is not None and self.max_latency <= 0:
+            raise QoSError("max_latency must be positive")
+        if self.max_loss is not None and not 0 <= self.max_loss < 1:
+            raise QoSError("max_loss must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """An admitted QoS channel."""
+
+    reservation_id: int
+    spec: QoSSpec
+    owner: str
+
+
+class QoSManager:
+    """Admission control over one link's capacity.
+
+    ``headroom`` keeps a fraction of the raw bandwidth unreservable
+    (protocol overhead, cross traffic) — the same margin
+    :func:`repro.media.profiles.select_profile` assumes.
+    """
+
+    def __init__(self, link: Link, *, headroom: float = 0.9) -> None:
+        if not 0 < headroom <= 1:
+            raise QoSError("headroom must be in (0, 1]")
+        self.link = link
+        self.capacity = link.bandwidth * headroom
+        self._reservations: Dict[int, Reservation] = {}
+        self._ids = itertools.count(1)
+        self.rejected = 0
+
+    @property
+    def reserved(self) -> float:
+        return sum(r.spec.bandwidth for r in self._reservations.values())
+
+    @property
+    def available(self) -> float:
+        return self.capacity - self.reserved
+
+    def can_admit(self, spec: QoSSpec) -> bool:
+        if spec.bandwidth > self.available:
+            return False
+        if spec.max_latency is not None and self.link.delay > spec.max_latency:
+            return False
+        if spec.max_loss is not None and self.link.loss_rate > spec.max_loss:
+            return False
+        return True
+
+    def reserve(self, spec: QoSSpec, *, owner: str = "") -> Reservation:
+        """Admit or raise :class:`QoSError` explaining the failure."""
+        if spec.bandwidth > self.available:
+            self.rejected += 1
+            raise QoSError(
+                f"insufficient bandwidth: need {spec.bandwidth:g}, "
+                f"available {self.available:g}"
+            )
+        if spec.max_latency is not None and self.link.delay > spec.max_latency:
+            self.rejected += 1
+            raise QoSError(
+                f"link delay {self.link.delay:g}s exceeds required "
+                f"{spec.max_latency:g}s"
+            )
+        if spec.max_loss is not None and self.link.loss_rate > spec.max_loss:
+            self.rejected += 1
+            raise QoSError(
+                f"link loss {self.link.loss_rate:g} exceeds required "
+                f"{spec.max_loss:g}"
+            )
+        reservation = Reservation(next(self._ids), spec, owner)
+        self._reservations[reservation.reservation_id] = reservation
+        return reservation
+
+    def release(self, reservation: Reservation) -> None:
+        if reservation.reservation_id not in self._reservations:
+            raise QoSError(f"reservation {reservation.reservation_id} not active")
+        del self._reservations[reservation.reservation_id]
+
+    def active(self) -> List[Reservation]:
+        return list(self._reservations.values())
+
+    def best_effort_bandwidth(self, demand: float) -> float:
+        """Rate available to an unreserved flow asking for ``demand``."""
+        return max(0.0, min(demand, self.available))

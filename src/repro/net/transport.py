@@ -1,0 +1,156 @@
+"""Transport channels over links: datagram and reliable in-order delivery.
+
+Two channel types, matching how the real system used the network:
+
+* :class:`DatagramChannel` — fire-and-forget, what media packets ride
+  (late retransmitted video is useless, so the server doesn't try);
+* :class:`ReliableChannel` — positive-ack ARQ with retransmission and
+  in-order delivery, what HTTP control traffic rides (publish forms,
+  play/pause/seek commands, license requests).
+
+Messages carry arbitrary Python payloads plus an explicit ``size`` so wire
+timing reflects real packet sizes without serializing everything twice.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .engine import SimulationError, Simulator
+from .link import Link
+
+
+@dataclass(frozen=True)
+class Message:
+    """A transport-level message: opaque payload with a wire size."""
+
+    payload: Any
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise SimulationError("message size must be positive")
+
+
+class DatagramChannel:
+    """Unreliable, unordered delivery straight over one link."""
+
+    def __init__(
+        self,
+        link: Link,
+        on_receive: Callable[[Message], None],
+        *,
+        header_size: int = 28,  # IP+UDP
+    ) -> None:
+        self.link = link
+        self.on_receive = on_receive
+        self.header_size = header_size
+        self.sent = 0
+
+    def send(self, message: Message) -> None:
+        self.sent += 1
+        self.link.transmit(
+            message.size + self.header_size,
+            lambda: self.on_receive(message),
+        )
+
+
+@dataclass
+class _Pending:
+    seq: int
+    message: Message
+    attempts: int = 0
+
+
+class ReliableChannel:
+    """Stop-and-wait-window ARQ with cumulative in-order delivery.
+
+    Simple but complete: sequence numbers, a retransmission timer per
+    message, duplicate suppression, and in-order handoff to the receiver.
+    Suitable for the control plane (a handful of small messages), not bulk
+    media. ``max_attempts`` exhaustion calls ``on_fail``.
+    """
+
+    ACK_SIZE = 40
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        out_link: Link,
+        ack_link: Link,
+        on_receive: Callable[[Message], None],
+        *,
+        rto: float = 0.25,
+        max_attempts: int = 8,
+        header_size: int = 40,  # IP+TCP-ish
+        on_fail: Optional[Callable[[Message], None]] = None,
+    ) -> None:
+        if rto <= 0:
+            raise SimulationError("rto must be positive")
+        self.simulator = simulator
+        self.out_link = out_link
+        self.ack_link = ack_link
+        self.on_receive = on_receive
+        self.on_fail = on_fail
+        self.rto = rto
+        self.max_attempts = max_attempts
+        self.header_size = header_size
+        self._next_seq = itertools.count()
+        self._unacked: Dict[int, _Pending] = {}
+        self._recv_buffer: Dict[int, Message] = {}
+        self._next_deliver = 0
+        self._delivered_seqs: set = set()
+        self.retransmissions = 0
+
+    # -- sender side ----------------------------------------------------
+
+    def send(self, message: Message) -> int:
+        seq = next(self._next_seq)
+        pending = _Pending(seq, message)
+        self._unacked[seq] = pending
+        self._transmit(pending)
+        return seq
+
+    def _transmit(self, pending: _Pending) -> None:
+        pending.attempts += 1
+        seq = pending.seq
+        self.out_link.transmit(
+            pending.message.size + self.header_size,
+            lambda: self._arrive(seq, pending.message),
+        )
+        self.simulator.schedule(self.rto, lambda: self._timeout(seq))
+
+    def _timeout(self, seq: int) -> None:
+        pending = self._unacked.get(seq)
+        if pending is None:
+            return  # acked
+        if pending.attempts >= self.max_attempts:
+            del self._unacked[seq]
+            if self.on_fail is not None:
+                self.on_fail(pending.message)
+            return
+        self.retransmissions += 1
+        self._transmit(pending)
+
+    def _acked(self, seq: int) -> None:
+        self._unacked.pop(seq, None)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._unacked)
+
+    # -- receiver side ----------------------------------------------------
+
+    def _arrive(self, seq: int, message: Message) -> None:
+        # always ack, even duplicates (the ack may have been lost)
+        self.ack_link.transmit(self.ACK_SIZE, lambda: self._acked(seq))
+        if seq in self._delivered_seqs or seq in self._recv_buffer:
+            return
+        self._recv_buffer[seq] = message
+        while self._next_deliver in self._recv_buffer:
+            ready = self._recv_buffer.pop(self._next_deliver)
+            self._delivered_seqs.add(self._next_deliver)
+            self._next_deliver += 1
+            self.on_receive(ready)

@@ -1,0 +1,30 @@
+"""Streaming: media server, sessions, jitter-buffered player."""
+
+from .buffer import JitterBuffer
+from .client import (
+    FiredCommand,
+    MediaPlayer,
+    PlaybackReport,
+    PlayerError,
+    PlayerState,
+    RenderedUnit,
+)
+from .server import MediaServer, PublishError, PublishingPoint
+from .session import SessionError, SessionState, SessionTable, StreamSession
+
+__all__ = [
+    "FiredCommand",
+    "JitterBuffer",
+    "MediaPlayer",
+    "MediaServer",
+    "PlaybackReport",
+    "PlayerError",
+    "PlayerState",
+    "PublishError",
+    "PublishingPoint",
+    "RenderedUnit",
+    "SessionError",
+    "SessionState",
+    "SessionTable",
+    "StreamSession",
+]

@@ -1,0 +1,69 @@
+"""Client-side jitter buffer.
+
+Received media units wait here until the render clock reaches their
+timestamp. The buffer answers the two questions the player's control loop
+asks every tick: *what is due now* (:meth:`JitterBuffer.pop_due`) and *how
+much runway is left* (:meth:`JitterBuffer.depth`) — runway depleting to
+zero while the stream is still open is a rebuffer event.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..asf.packets import MediaUnit
+
+
+class JitterBuffer:
+    """Timestamp-ordered buffer of media units across streams."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, MediaUnit]] = []
+        self._seq = itertools.count()
+        #: highest buffered-or-consumed timestamp per stream (ms)
+        self.horizon_ms: Dict[int, int] = {}
+        self.pushed = 0
+        self.popped = 0
+
+    def push(self, unit: MediaUnit) -> None:
+        heapq.heappush(self._heap, (unit.timestamp_ms, next(self._seq), unit))
+        horizon = self.horizon_ms.get(unit.stream_number, -1)
+        self.horizon_ms[unit.stream_number] = max(horizon, unit.timestamp_ms)
+        self.pushed += 1
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def peek_timestamp(self) -> Optional[float]:
+        return self._heap[0][0] / 1000.0 if self._heap else None
+
+    def pop_due(self, position: float) -> List[MediaUnit]:
+        """All units with timestamp ≤ ``position`` seconds, in order."""
+        due_ms = round(position * 1000)
+        out: List[MediaUnit] = []
+        while self._heap and self._heap[0][0] <= due_ms:
+            out.append(heapq.heappop(self._heap)[2])
+            self.popped += 1
+        return out
+
+    def depth(self, position: float, streams: Optional[List[int]] = None) -> float:
+        """Seconds of runway past ``position``: min over ``streams`` of
+        (horizon − position). Streams never seen give zero runway."""
+        relevant = streams if streams is not None else list(self.horizon_ms)
+        if not relevant:
+            return 0.0
+        depths = []
+        for stream in relevant:
+            horizon = self.horizon_ms.get(stream)
+            if horizon is None:
+                return 0.0
+            depths.append(horizon / 1000.0 - position)
+        return max(0.0, min(depths))
+
+    def clear(self) -> None:
+        """Drop everything (seek discontinuity)."""
+        self._heap.clear()
+        self.horizon_ms.clear()

@@ -1,0 +1,519 @@
+"""The media player — "the browser with the windows media services".
+
+:class:`MediaPlayer` connects to a publishing point, prebuffers the
+header's preroll, renders media units against a presentation clock, and
+fires script commands (slide changes, annotations) at their timestamps —
+the paper's synchronized video + slides playback (Fig. 7).
+
+Everything measurable about playback lands in a :class:`PlaybackReport`:
+startup latency, rebuffer count/time, per-stream loss, rendered-unit log,
+and per-slide synchronization error (the distance between the media
+position when the slide actually changed and the timestamp the orchestrator
+asked for).
+
+Two synchronization modes exist for the ablation benches:
+
+* ``"script"`` (the paper's design) — commands fire off the *media clock*,
+  so stalls shift slides and video together;
+* ``"timer"`` (the strawman) — commands fire off a wall-clock timer started
+  at playback begin, so every stall desynchronizes slides from video.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..asf.constants import SCRIPT_STREAM_NUMBER
+from ..asf.drm import DRMError, License, LicenseServer, scramble
+from ..asf.header import HeaderObject
+from ..asf.packets import DataPacket, Depacketizer, MediaUnit, command_from_unit
+from ..asf.script_commands import ScriptCommand, ScriptCommandDispatcher
+from ..media.clock import PresentationClock
+from ..net.engine import PeriodicTask, Simulator
+from ..web.http import HTTPClient, HTTPError, VirtualNetwork
+
+
+class PlayerError(Exception):
+    """Connection/rendering misuse."""
+
+
+class PlayerState(enum.Enum):
+    IDLE = "idle"
+    CONNECTING = "connecting"
+    BUFFERING = "buffering"
+    PLAYING = "playing"
+    PAUSED = "paused"
+    FINISHED = "finished"
+
+
+@dataclass
+class RenderedUnit:
+    """One media unit handed to the renderer."""
+
+    wall_time: float
+    position: float
+    unit: MediaUnit
+
+
+@dataclass
+class FiredCommand:
+    """A script command the player executed."""
+
+    wall_time: float
+    position: float
+    command: ScriptCommand
+
+    @property
+    def sync_error(self) -> float:
+        """|media position at firing − commanded timestamp| in seconds."""
+        return abs(self.position - self.command.timestamp)
+
+
+@dataclass
+class PlaybackReport:
+    """Everything measured during one playback."""
+
+    point: str
+    startup_latency: float
+    rebuffer_count: int
+    rebuffer_time: float
+    rendered: List[RenderedUnit]
+    commands: List[FiredCommand]
+    loss_rates: Dict[int, float]
+    duration_watched: float
+
+    @property
+    def max_command_sync_error(self) -> float:
+        return max((c.sync_error for c in self.commands), default=0.0)
+
+    @property
+    def mean_command_sync_error(self) -> float:
+        if not self.commands:
+            return 0.0
+        return sum(c.sync_error for c in self.commands) / len(self.commands)
+
+    def slide_changes(self) -> List[FiredCommand]:
+        return [c for c in self.commands if c.command.type == "SLIDE"]
+
+    def rendered_for_stream(self, stream_number: int) -> List[RenderedUnit]:
+        return [r for r in self.rendered if r.unit.stream_number == stream_number]
+
+
+class MediaPlayer:
+    """A streaming client on one host of the virtual network."""
+
+    RENDER_TICK = 0.05
+    UNDERRUN_MARGIN = 0.05
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        host: str,
+        *,
+        user: str = "",
+        license_server: Optional[LicenseServer] = None,
+        sync_mode: str = "script",
+        preroll_override: Optional[float] = None,
+    ) -> None:
+        if sync_mode not in ("script", "timer"):
+            raise PlayerError(f"unknown sync mode {sync_mode!r}")
+        from .buffer import JitterBuffer
+
+        self.network = network
+        self.simulator: Simulator = network.simulator
+        self.host = network.add_host(host)
+        self.user = user or host
+        self.license_server = license_server
+        self.sync_mode = sync_mode
+        self.preroll_override = preroll_override
+        self.http = HTTPClient(network, host)
+
+        self.state = PlayerState.IDLE
+        self.header: Optional[HeaderObject] = None
+        self.session_id: Optional[int] = None
+        self._server_url: Optional[str] = None
+        self._point: Optional[str] = None
+        self._broadcast = False
+        self._license: Optional[License] = None
+        self._depacketizer = Depacketizer()
+        self._buffer = JitterBuffer()
+        self._clock = PresentationClock()
+        self._dispatcher: Optional[ScriptCommandDispatcher] = None
+        self._render_task: Optional[PeriodicTask] = None
+        self._media_streams: List[int] = []
+        self.selected_video: Optional[int] = None
+        self._timer_commands: List[ScriptCommand] = []
+        self._timer_cursor = 0
+        self._timer_origin: Optional[float] = None
+
+        # metrics
+        self.rendered: List[RenderedUnit] = []
+        self.fired: List[FiredCommand] = []
+        self._connect_time: Optional[float] = None
+        self._first_render: Optional[float] = None
+        self.rebuffer_count = 0
+        self.rebuffer_time = 0.0
+        self._stall_started: Optional[float] = None
+        self._stall_is_underrun = False
+        self._start_position = 0.0
+        self._stream_ended = False
+
+    # ------------------------------------------------------------------
+    # connection
+    # ------------------------------------------------------------------
+
+    @property
+    def preroll(self) -> float:
+        if self.preroll_override is not None:
+            return self.preroll_override
+        if self.header is None:
+            return 3.0
+        return self.header.file_properties.preroll_ms / 1000.0
+
+    @property
+    def position(self) -> float:
+        return self._clock.media_time(self.simulator.now)
+
+    def connect(self, url: str) -> HeaderObject:
+        """DESCRIBE: fetch the header of ``url`` (…/lod/<point>)."""
+        if self.state is not PlayerState.IDLE:
+            raise PlayerError("player already connected")
+        self.state = PlayerState.CONNECTING
+        self._connect_time = self.simulator.now
+        response = self.http.get(url)
+        if not response.ok:
+            self.state = PlayerState.IDLE
+            raise PlayerError(f"describe failed: {response.status} {response.body}")
+        body = response.body
+        self.header = body["header"]
+        self._point = body["point"]
+        self._broadcast = bool(body.get("broadcast"))
+        base = url.rsplit("/lod/", 1)[0]
+        self._server_url = base
+        if self.header.file_properties.is_protected:
+            self._acquire_license()
+        self._media_streams = [
+            s.stream_number
+            for s in self.header.streams
+            if s.stream_type in ("video", "audio")
+        ]
+        commands = list(self.header.script_commands)
+        self._dispatcher = ScriptCommandDispatcher(commands, self._on_command_fired)
+        self._timer_commands = sorted(commands)
+        return self.header
+
+    def _acquire_license(self) -> None:
+        if self.license_server is None:
+            raise DRMError(
+                "content is DRM-protected and the player has no license server"
+            )
+        assert self.header is not None and self.header.drm is not None
+        self._license = self.license_server.acquire(
+            self.header.drm.content_id, self.user
+        )
+
+    def _control(self, action: str, **fields) -> None:
+        assert self._server_url is not None
+        response = self.http.post(f"{self._server_url}/control/{action}", body=fields)
+        if not response.ok:
+            raise PlayerError(f"{action} failed: {response.status} {response.body}")
+        if action == "open":
+            self.session_id = response.body["session_id"]
+            included = response.body.get("streams")
+            if included is not None:
+                # MBR: buffer-depth accounting covers only streams the
+                # server actually sends this session
+                self._media_streams = [
+                    s for s in self._media_streams if s in included
+                ]
+                self.selected_video = response.body.get("selected_video")
+
+    def play(self, *, start: float = 0.0, burst_factor: float = 1.0) -> None:
+        """Open a session and begin buffering from ``start`` seconds.
+
+        ``burst_factor`` > 1 asks the server for fast start: the preroll
+        is delivered at that multiple of real time, cutting startup
+        latency roughly to ``preroll / burst_factor``.
+        """
+        if self.header is None:
+            raise PlayerError("connect() first")
+        if self.state is not PlayerState.CONNECTING:
+            raise PlayerError(f"cannot play from state {self.state.value}")
+        self._control("open", point=self._point, deliver=self._on_packet)
+        self._control(
+            "play", session_id=self.session_id, start=start,
+            burst_factor=burst_factor,
+        )
+        self.state = PlayerState.BUFFERING
+        self._start_position = start
+        self._pending_catchup = start > 0
+        self._render_task = PeriodicTask(
+            self.simulator, self.RENDER_TICK, self._render_tick
+        )
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+
+    def _on_packet(self, packet: DataPacket) -> None:
+        for unit in self._depacketizer.push_packet(packet):
+            if unit.stream_number == SCRIPT_STREAM_NUMBER:
+                # stored files dispatch from the header command table; only
+                # live broadcasts (no table up front) fire inline commands
+                if self._broadcast:
+                    self._on_live_command(unit)
+                continue
+            if self._license is not None:
+                unit = MediaUnit(
+                    unit.stream_number,
+                    unit.object_number,
+                    unit.timestamp_ms,
+                    unit.keyframe,
+                    scramble(unit.data, self._license.key),
+                )
+            self._buffer.push(unit)
+
+    def _on_live_command(self, unit: MediaUnit) -> None:
+        """Live streams carry commands inline: fire immediately."""
+        command = command_from_unit(unit)
+        self._on_command_fired(command)
+
+    def _on_command_fired(self, command: ScriptCommand) -> None:
+        self.fired.append(
+            FiredCommand(self.simulator.now, self.position, command)
+        )
+
+    @property
+    def current_slide(self) -> Optional[str]:
+        """The slide currently on screen (last SLIDE command fired)."""
+        for fired in reversed(self.fired):
+            if fired.command.type == "SLIDE":
+                return fired.command.parameter
+        return None
+
+    def active_annotations(self, *, lifetime: float = 5.0) -> List[str]:
+        """Annotations fired within ``lifetime`` seconds of media time.
+
+        The wire format carries no explicit annotation end, so the overlay
+        applies a display lifetime — matching how the original player
+        showed teacher comments for a few seconds.
+        """
+        position = self.position
+        return [
+            fired.command.parameter
+            for fired in self.fired
+            if fired.command.type == "ANNOTATION"
+            and fired.position <= position <= fired.position + lifetime
+        ]
+
+    # ------------------------------------------------------------------
+    # render loop
+    # ------------------------------------------------------------------
+
+    def _render_tick(self) -> None:
+        if self.state in (PlayerState.PAUSED, PlayerState.FINISHED, PlayerState.IDLE):
+            return
+        now = self.simulator.now
+        if self.state is PlayerState.BUFFERING:
+            anchor = self.position if self._clock.started else self._start_position
+            if (
+                self._buffer.depth(anchor, self._media_streams) >= self.preroll
+                or self._end_of_content()
+                or (self._stream_ended and len(self._buffer))
+            ):
+                self._start_playing(now)
+            return
+        # PLAYING
+        position = self.position
+        due = self._buffer.pop_due(position)
+        for unit in due:
+            self.rendered.append(RenderedUnit(now, position, unit))
+        if self.sync_mode == "script" and self._dispatcher is not None:
+            self._dispatcher.advance_to(position)
+        elif self.sync_mode == "timer":
+            self._fire_timer_commands(now)
+        duration = self.header.file_properties.duration_ms / 1000.0
+        if duration and position >= duration:
+            self._finish()
+            return
+        depth = self._buffer.depth(position, self._media_streams)
+        if depth <= self.UNDERRUN_MARGIN and not self._end_of_content():
+            self._enter_rebuffer(now)
+
+    #: tolerance for "everything up to the end is already buffered" — the
+    #: last media unit of a stream sits one unit-duration before `duration`
+    END_TOLERANCE = 0.5
+
+    def _end_of_content(self) -> bool:
+        """True when the tail of the stream is fully buffered/consumed."""
+        if self._stream_ended:
+            return True
+        duration = (
+            self.header.file_properties.duration_ms / 1000.0 if self.header else 0.0
+        )
+        if not duration or not self._media_streams:
+            return False
+        horizons = [
+            self._buffer.horizon_ms.get(s, -1) / 1000.0 for s in self._media_streams
+        ]
+        return min(horizons) >= duration - self.END_TOLERANCE
+
+    def _start_playing(self, now: float) -> None:
+        if self._stall_started is not None:
+            if self._stall_is_underrun:
+                self.rebuffer_time += now - self._stall_started
+            self._stall_started = None
+            self._clock.resume(now)
+        elif not self._clock.started:
+            self._clock.start(now, media_time=self._start_position)
+        if getattr(self, "_pending_catchup", False):
+            # starting mid-lecture: replay only the latest stateful command
+            # per type (the current slide), not the whole history
+            self._pending_catchup = False
+            if self.sync_mode == "script" and self._dispatcher is not None:
+                self._dispatcher.seek(self._start_position)
+            elif self.sync_mode == "timer":
+                while (
+                    self._timer_cursor < len(self._timer_commands)
+                    and self._timer_commands[self._timer_cursor].timestamp
+                    < self._start_position
+                ):
+                    self._timer_cursor += 1
+        if self._first_render is None:
+            self._first_render = now
+            if self.sync_mode == "timer":
+                self._timer_origin = now
+        self.state = PlayerState.PLAYING
+
+    def _enter_rebuffer(self, now: float) -> None:
+        self.state = PlayerState.BUFFERING
+        self.rebuffer_count += 1
+        self._stall_started = now
+        self._stall_is_underrun = True
+        self._clock.pause(now)
+
+    def _fire_timer_commands(self, now: float) -> None:
+        """Strawman sync: commands fire at wall-clock offsets from start."""
+        if self._timer_origin is None:
+            return
+        elapsed = now - self._timer_origin
+        while (
+            self._timer_cursor < len(self._timer_commands)
+            and self._timer_commands[self._timer_cursor].timestamp <= elapsed
+        ):
+            self._on_command_fired(self._timer_commands[self._timer_cursor])
+            self._timer_cursor += 1
+
+    def _finish(self) -> None:
+        self.state = PlayerState.FINISHED
+        # freeze the playback position: the close handshake below advances
+        # simulated time, and the clock must not drift past the content end
+        duration = (
+            self.header.file_properties.duration_ms / 1000.0
+            if self.header is not None
+            else 0.0
+        )
+        final = min(self.position, duration) if duration else self.position
+        self._clock.seek(self.simulator.now, final)
+        if not self._clock.paused and self._clock.started:
+            self._clock.pause(self.simulator.now)
+        if self._render_task is not None:
+            self._render_task.stop()
+        if self.session_id is not None:
+            try:
+                self._control("close", session_id=self.session_id)
+            except (PlayerError, HTTPError):
+                pass
+            self.session_id = None
+
+    # ------------------------------------------------------------------
+    # user interactions
+    # ------------------------------------------------------------------
+
+    def pause(self) -> None:
+        if self.state is not PlayerState.PLAYING:
+            raise PlayerError(f"cannot pause from {self.state.value}")
+        self._control("pause", session_id=self.session_id)
+        self._clock.pause(self.simulator.now)
+        self.state = PlayerState.PAUSED
+
+    def resume(self) -> None:
+        if self.state is not PlayerState.PAUSED:
+            raise PlayerError(f"cannot resume from {self.state.value}")
+        self._control("resume", session_id=self.session_id)
+        self._clock.resume(self.simulator.now)
+        self.state = PlayerState.PLAYING
+
+    def seek(self, position: float) -> None:
+        """Reposition; the post-seek stall is buffering but not an underrun."""
+        if self.state not in (PlayerState.PLAYING, PlayerState.PAUSED):
+            raise PlayerError(f"cannot seek from {self.state.value}")
+        now = self.simulator.now
+        was_paused = self.state is PlayerState.PAUSED
+        self._control("seek", session_id=self.session_id, position=position)
+        if was_paused:
+            self._control("resume", session_id=self.session_id)
+        self._buffer.clear()
+        self._clock.seek(now, position)
+        if not was_paused:
+            self._clock.pause(now)
+        if self._dispatcher is not None:
+            self._dispatcher.seek(position)
+        self._stall_started = now
+        self._stall_is_underrun = False
+        self.state = PlayerState.BUFFERING
+
+    def stop(self) -> None:
+        """End playback (the way to leave a broadcast with no duration)."""
+        if self.state in (PlayerState.IDLE, PlayerState.FINISHED):
+            raise PlayerError(f"cannot stop from {self.state.value}")
+        self._finish()
+
+    # ------------------------------------------------------------------
+    # driving & reporting
+    # ------------------------------------------------------------------
+
+    def run_until_finished(self, *, timeout: float = 3_600.0) -> "PlaybackReport":
+        """Advance the simulation until playback completes."""
+        deadline = self.simulator.now + timeout
+        while self.state is not PlayerState.FINISHED:
+            nxt = self.simulator.peek_time()
+            if nxt is None or nxt > deadline:
+                raise PlayerError(
+                    f"playback did not finish before t={deadline} "
+                    f"(state {self.state.value})"
+                )
+            self.simulator.step()
+        return self.report()
+
+    def watch(self, url: str, **play_kwargs) -> "PlaybackReport":
+        """Connect, play to completion, report."""
+        self.connect(url)
+        self.play(**play_kwargs)
+        return self.run_until_finished()
+
+    def report(self) -> PlaybackReport:
+        loss = self._depacketizer.loss_report()
+        startup = (
+            (self._first_render - self._connect_time)
+            if self._first_render is not None and self._connect_time is not None
+            else float("inf")
+        )
+        return PlaybackReport(
+            point=self._point or "",
+            startup_latency=startup,
+            rebuffer_count=self.rebuffer_count,
+            rebuffer_time=self.rebuffer_time,
+            rendered=list(self.rendered),
+            commands=list(self.fired),
+            loss_rates={
+                s: loss.loss_rate(s) for s in loss.delivered
+            },
+            duration_watched=self.position,
+        )
+
+    def mark_stream_ended(self) -> None:
+        """Broadcast feeds call this when the live session closes."""
+        self._stream_ended = True

@@ -1,0 +1,417 @@
+"""The media server — equivalent of Windows Media Services.
+
+Publishes ASF content at named *publishing points* and streams it to
+clients over the simulated network:
+
+* **on-demand points** hold a stored :class:`~repro.asf.stream.ASFFile`;
+  each client gets its own paced unicast with pause/resume/seek;
+* **broadcast points** hold a live :class:`~repro.asf.stream.ASFLiveStream`;
+  every attached client receives packets as the encoder emits them
+  ("broadcast their encoded content in real time", §2.5).
+
+Control is exposed both as a Python API (used by
+:class:`repro.streaming.client.MediaPlayer`) and as HTTP routes on the
+server's port (used by the publishing manager) — describe / play / pause /
+resume / seek / close. QoS admission per client link uses
+:class:`~repro.net.qos.QoSManager` when enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from ..asf.packets import DataPacket
+from ..asf.stream import ASFFile, ASFLiveStream
+from ..net.engine import PeriodicTask, Simulator
+from ..net.qos import QoSError, QoSManager, QoSSpec
+from ..net.transport import DatagramChannel, Message
+from ..web.http import HTTPRequest, HTTPResponse, HTTPServer, VirtualNetwork
+from .session import SessionError, SessionState, SessionTable, StreamSession
+
+
+class PublishError(Exception):
+    """Publishing-point misuse."""
+
+
+@dataclass
+class PublishingPoint:
+    """A named piece of published content."""
+
+    name: str
+    content: Union[ASFFile, ASFLiveStream]
+    description: str = ""
+
+    @property
+    def broadcast(self) -> bool:
+        return isinstance(self.content, ASFLiveStream)
+
+    @property
+    def header(self):
+        return self.content.header
+
+
+class MediaServer:
+    """Streams publishing points to clients over the virtual network."""
+
+    #: how often broadcast points poll the live encoder feed
+    BROADCAST_TICK = 0.05
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        host: str,
+        *,
+        port: int = 8080,
+        qos_enabled: bool = False,
+    ) -> None:
+        self.network = network
+        self.simulator: Simulator = network.simulator
+        self.host = network.add_host(host)
+        self.port = port
+        self.points: Dict[str, PublishingPoint] = {}
+        self.sessions = SessionTable()
+        self.qos_enabled = qos_enabled
+        self._qos: Dict[str, QoSManager] = {}
+        self._broadcast_pumps: Dict[str, PeriodicTask] = {}
+        self.http = HTTPServer(network, host, port)
+        self._register_routes()
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        name: str,
+        content: Union[ASFFile, ASFLiveStream],
+        *,
+        description: str = "",
+    ) -> PublishingPoint:
+        if name in self.points:
+            raise PublishError(f"publishing point {name!r} already exists")
+        point = PublishingPoint(name, content, description)
+        self.points[name] = point
+        if point.broadcast:
+            self._broadcast_pumps[name] = PeriodicTask(
+                self.simulator, self.BROADCAST_TICK, lambda n=name: self._pump_broadcast(n)
+            )
+        return point
+
+    def unpublish(self, name: str) -> None:
+        point = self._point(name)
+        for session in self.sessions.sessions_for_point(name):
+            self.close_session(session.session_id)
+        pump = self._broadcast_pumps.pop(name, None)
+        if pump is not None:
+            pump.stop()
+        del self.points[name]
+
+    def _point(self, name: str) -> PublishingPoint:
+        try:
+            return self.points[name]
+        except KeyError:
+            raise PublishError(f"no publishing point {name!r}") from None
+
+    def url_of(self, name: str) -> str:
+        """The URL the publishing manager hands to students (Fig. 5)."""
+        self._point(name)
+        return f"http://{self.host}:{self.port}/lod/{name}"
+
+    # ------------------------------------------------------------------
+    # session control (Python API)
+    # ------------------------------------------------------------------
+
+    def describe(self, name: str):
+        """Header of a publishing point (the DESCRIBE step)."""
+        return self._point(name).header
+
+    def open_session(
+        self,
+        name: str,
+        client_host: str,
+        deliver: Callable[[DataPacket], None],
+    ) -> StreamSession:
+        point = self._point(name)
+        session = self.sessions.create(
+            name, client_host, deliver, broadcast=point.broadcast
+        )
+        self._select_renditions(session, point)
+        if self.qos_enabled:
+            manager = self._qos.setdefault(
+                client_host, QoSManager(self.network.link(self.host, client_host))
+            )
+            spec = QoSSpec(bandwidth=max(self._session_bitrate(session, point), 1.0))
+            session.reservation = manager.reserve(spec, owner=f"session{session.session_id}")
+        return session
+
+    def _select_renditions(self, session: StreamSession, point: PublishingPoint) -> None:
+        """Intelligent streaming: pick one MBR video rendition per client.
+
+        The chosen rendition is the highest-rate one that, together with
+        the non-MBR streams, fits the client's downlink with 10% headroom;
+        the other renditions are withheld (packet thinning).
+        """
+        header = point.header
+        renditions = header.mbr_group("video")
+        if not renditions:
+            return
+        link = self.network.link(self.host, session.client_host)
+        other = sum(
+            s.bitrate for s in header.streams
+            if s.extra.get("mbr_group") != "video"
+        )
+        budget = link.bandwidth * 0.9 - other
+        chosen = renditions[0]
+        for rendition in renditions:
+            if rendition.bitrate <= budget:
+                chosen = rendition
+        session.selected_video = chosen.stream_number
+        session.excluded_streams = frozenset(
+            s.stream_number for s in renditions if s is not chosen
+        )
+
+    @staticmethod
+    def _session_bitrate(session: StreamSession, point: PublishingPoint) -> float:
+        return sum(
+            s.bitrate for s in point.header.streams
+            if s.stream_number not in session.excluded_streams
+        )
+
+    def included_streams(self, session_id: int) -> List[int]:
+        """Stream numbers this session actually receives."""
+        session = self.sessions.get(session_id)
+        header = self._point(session.point).header
+        return [
+            s.stream_number for s in header.streams
+            if s.stream_number not in session.excluded_streams
+        ]
+
+    def play(
+        self,
+        session_id: int,
+        *,
+        start: float = 0.0,
+        burst_factor: float = 1.0,
+        burst_seconds: Optional[float] = None,
+    ) -> None:
+        """Start (or restart) delivery.
+
+        ``burst_factor`` > 1 enables *fast start*: the first
+        ``burst_seconds`` of content (default: the file's preroll) is sent
+        at ``burst_factor``× the nominal pacing so the client fills its
+        preroll buffer quickly, then delivery settles to real-time pacing —
+        Windows Media's "Fast Start" behaviour.
+        """
+        if burst_factor < 1.0:
+            raise SessionError("burst_factor must be >= 1")
+        session = self.sessions.get(session_id)
+        point = self._point(session.point)
+        if session.state is SessionState.CONNECTING:
+            session.transition(SessionState.STREAMING)
+        elif session.state in (SessionState.PAUSED, SessionState.FINISHED):
+            session.transition(SessionState.STREAMING)
+        if point.broadcast:
+            return  # broadcast clients just receive the pump's packets
+        session.position = start
+        session.packet_cursor = self._cursor_for(point.content, start)
+        window = burst_seconds
+        if window is None:
+            window = point.header.file_properties.preroll_ms / 1000.0
+        session._burst_factor = burst_factor  # type: ignore[attr-defined]
+        session._burst_window_ms = window * 1000.0  # type: ignore[attr-defined]
+        self._start_pacing(session)
+
+    def pause(self, session_id: int) -> None:
+        session = self.sessions.get(session_id)
+        session.transition(SessionState.PAUSED)
+        if session.pacing_handle is not None:
+            self.simulator.cancel(session.pacing_handle)
+            session.pacing_handle = None
+
+    def resume(self, session_id: int) -> None:
+        session = self.sessions.get(session_id)
+        session.transition(SessionState.STREAMING)
+        if not session.broadcast:
+            self._start_pacing(session)
+
+    def seek(self, session_id: int, position: float) -> None:
+        session = self.sessions.get(session_id)
+        if session.broadcast:
+            raise SessionError("cannot seek a broadcast session")
+        point = self._point(session.point)
+        was_streaming = session.state is SessionState.STREAMING
+        if session.pacing_handle is not None:
+            self.simulator.cancel(session.pacing_handle)
+            session.pacing_handle = None
+        if session.state is SessionState.FINISHED:
+            session.transition(SessionState.STREAMING)
+            was_streaming = True
+        session.position = position
+        session.packet_cursor = self._cursor_for(point.content, position)
+        if was_streaming:
+            self._start_pacing(session)
+
+    def close_session(self, session_id: int) -> None:
+        session = self.sessions.get(session_id)
+        if session.pacing_handle is not None:
+            self.simulator.cancel(session.pacing_handle)
+        if session.reservation is not None:
+            self._qos[session.client_host].release(session.reservation)
+            session.reservation = None
+        self.sessions.close(session_id)
+
+    # ------------------------------------------------------------------
+    # pacing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _cursor_for(asf: ASFFile, position: float) -> int:
+        start_seq = asf.ensure_index().seek(position)
+        for i, packet in enumerate(asf.packets):
+            if packet.sequence >= start_seq:
+                return i
+        return len(asf.packets)
+
+    def _start_pacing(self, session: StreamSession) -> None:
+        """Anchor pacing at 'now'; packets go out at their relative send times."""
+        point = self._point(session.point)
+        asf: ASFFile = point.content
+        session._pace_origin = self.simulator.now  # type: ignore[attr-defined]
+        if session.packet_cursor < len(asf.packets):
+            session._pace_base = asf.packets[  # type: ignore[attr-defined]
+                session.packet_cursor
+            ].send_time_ms
+        else:
+            session._pace_base = 0  # type: ignore[attr-defined]
+        self._schedule_next_packet(session)
+
+    def _schedule_next_packet(self, session: StreamSession) -> None:
+        point = self._point(session.point)
+        asf: ASFFile = point.content
+        if session.packet_cursor >= len(asf.packets):
+            if session.state is SessionState.STREAMING:
+                session.transition(SessionState.FINISHED)
+            return
+        packet = asf.packets[session.packet_cursor]
+        offset_ms = packet.send_time_ms - session._pace_base  # type: ignore[attr-defined]
+        burst = getattr(session, "_burst_factor", 1.0)
+        window = getattr(session, "_burst_window_ms", 0.0)
+        if burst > 1.0:
+            if offset_ms <= window:
+                offset_ms = offset_ms / burst
+            else:
+                offset_ms = window / burst + (offset_ms - window)
+        offset = offset_ms / 1000.0
+
+        def send() -> None:
+            session.pacing_handle = None
+            if session.state is not SessionState.STREAMING:
+                return
+            self._transmit(session, packet)
+            session.packet_cursor += 1
+            self._schedule_next_packet(session)
+
+        at = session._pace_origin + max(0.0, offset)  # type: ignore[attr-defined]
+        session.pacing_handle = self.simulator.schedule_at(
+            max(at, self.simulator.now), send
+        )
+
+    def _pump_broadcast(self, name: str) -> None:
+        point = self.points.get(name)
+        if point is None or not point.broadcast:
+            return
+        stream: ASFLiveStream = point.content
+        due = stream.packets_due(self.simulator.now)
+        if not due:
+            return
+        for session in self.sessions.sessions_for_point(name):
+            if session.state is not SessionState.STREAMING:
+                continue
+            for packet in due:
+                self._transmit(session, packet)
+
+    def _transmit(self, session: StreamSession, packet: DataPacket) -> None:
+        if session.excluded_streams:
+            kept = [
+                p for p in packet.payloads
+                if p.stream_number not in session.excluded_streams
+            ]
+            if not kept:
+                return  # whole packet belonged to withheld renditions
+            packet = DataPacket(
+                packet.sequence, packet.send_time_ms, kept, packet.packet_size
+            )
+            wire_size = packet.used()  # thinned: padding stripped
+        else:
+            wire_size = packet.packet_size
+        link = self.network.link(self.host, session.client_host)
+        channel = DatagramChannel(link, lambda m: session.deliver(m.payload))
+        channel.send(Message(packet, wire_size))
+        session.packets_sent += 1
+        session.bytes_sent += wire_size
+
+    # ------------------------------------------------------------------
+    # HTTP control plane
+    # ------------------------------------------------------------------
+
+    def _register_routes(self) -> None:
+        self.http.route("GET", "/lod/", self._handle_describe)
+        self.http.route("POST", "/control/", self._handle_control)
+
+    def _handle_describe(self, request: HTTPRequest) -> HTTPResponse:
+        name = request.path[len("/lod/"):]
+        if name not in self.points:
+            return HTTPResponse(404, body=f"unknown publishing point {name!r}")
+        point = self.points[name]
+        return HTTPResponse(
+            200,
+            body={
+                "point": name,
+                "broadcast": point.broadcast,
+                "header": point.header,
+                "description": point.description,
+            },
+        )
+
+    def _handle_control(self, request: HTTPRequest) -> HTTPResponse:
+        action = request.path[len("/control/"):]
+        body = request.body or {}
+        try:
+            if action == "open":
+                session = self.open_session(
+                    body["point"], request.client_host, body["deliver"]
+                )
+                return HTTPResponse(
+                    200,
+                    body={
+                        "session_id": session.session_id,
+                        "streams": self.included_streams(session.session_id),
+                        "selected_video": session.selected_video,
+                    },
+                )
+            session_id = int(body["session_id"])
+            if action == "play":
+                self.play(
+                    session_id,
+                    start=float(body.get("start", 0.0)),
+                    burst_factor=float(body.get("burst_factor", 1.0)),
+                    burst_seconds=(
+                        float(body["burst_seconds"])
+                        if "burst_seconds" in body
+                        else None
+                    ),
+                )
+            elif action == "pause":
+                self.pause(session_id)
+            elif action == "resume":
+                self.resume(session_id)
+            elif action == "seek":
+                self.seek(session_id, float(body["position"]))
+            elif action == "close":
+                self.close_session(session_id)
+            else:
+                return HTTPResponse(404, body=f"unknown action {action!r}")
+            return HTTPResponse(200, body={"ok": True})
+        except (PublishError, SessionError, QoSError, KeyError) as exc:
+            return HTTPResponse(409, body=str(exc))

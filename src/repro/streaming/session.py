@@ -1,0 +1,127 @@
+"""Server-side client sessions.
+
+One :class:`StreamSession` per connected client: which publishing point it
+watches, delivery mode (on-demand vs broadcast), pacing state, and QoS
+reservation. :class:`SessionTable` is the server's registry with lifecycle
+and accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..asf.packets import DataPacket
+from ..net.qos import Reservation
+
+
+class SessionState(enum.Enum):
+    CONNECTING = "connecting"
+    STREAMING = "streaming"
+    PAUSED = "paused"
+    FINISHED = "finished"
+    CLOSED = "closed"
+
+
+class SessionError(Exception):
+    """Lifecycle misuse of a streaming session."""
+
+
+#: legal state transitions
+_TRANSITIONS = {
+    SessionState.CONNECTING: {SessionState.STREAMING, SessionState.CLOSED},
+    SessionState.STREAMING: {
+        SessionState.PAUSED,
+        SessionState.FINISHED,
+        SessionState.CLOSED,
+    },
+    SessionState.PAUSED: {SessionState.STREAMING, SessionState.CLOSED},
+    SessionState.FINISHED: {SessionState.CLOSED, SessionState.STREAMING},
+    SessionState.CLOSED: set(),
+}
+
+
+@dataclass
+class StreamSession:
+    """One client's attachment to a publishing point."""
+
+    session_id: int
+    point: str
+    client_host: str
+    broadcast: bool
+    deliver: Callable[[DataPacket], None]
+    state: SessionState = SessionState.CONNECTING
+    position: float = 0.0  # media seconds already dispatched (on-demand)
+    packet_cursor: int = 0
+    reservation: Optional[Reservation] = None
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    pacing_handle: Optional[object] = None
+    #: stream numbers withheld from this client (MBR renditions not chosen)
+    excluded_streams: frozenset = frozenset()
+    #: the MBR video stream chosen for this client (None = single-rate)
+    selected_video: Optional[int] = None
+
+    def transition(self, new_state: SessionState) -> None:
+        if new_state not in _TRANSITIONS[self.state]:
+            raise SessionError(
+                f"session {self.session_id}: cannot go {self.state.value} "
+                f"-> {new_state.value}"
+            )
+        self.state = new_state
+
+    @property
+    def active(self) -> bool:
+        return self.state in (SessionState.STREAMING, SessionState.PAUSED)
+
+
+class SessionTable:
+    """Registry of live sessions on a media server."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[int, StreamSession] = {}
+        self._ids = itertools.count(1)
+        self.total_created = 0
+
+    def create(
+        self,
+        point: str,
+        client_host: str,
+        deliver: Callable[[DataPacket], None],
+        *,
+        broadcast: bool,
+    ) -> StreamSession:
+        session = StreamSession(
+            session_id=next(self._ids),
+            point=point,
+            client_host=client_host,
+            broadcast=broadcast,
+            deliver=deliver,
+        )
+        self._sessions[session.session_id] = session
+        self.total_created += 1
+        return session
+
+    def get(self, session_id: int) -> StreamSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise SessionError(f"no session {session_id}") from None
+
+    def close(self, session_id: int) -> StreamSession:
+        session = self.get(session_id)
+        if session.state is not SessionState.CLOSED:
+            session.transition(SessionState.CLOSED)
+        del self._sessions[session_id]
+        return session
+
+    def active_sessions(self) -> List[StreamSession]:
+        return [s for s in self._sessions.values() if s.active]
+
+    def sessions_for_point(self, point: str) -> List[StreamSession]:
+        return [s for s in self._sessions.values() if s.point == point]
+
+    def __len__(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,23 @@
+"""Web substrate: minimal HTTP over the simulated network."""
+
+from .http import (
+    HTTPClient,
+    HTTPError,
+    HTTPRequest,
+    HTTPResponse,
+    HTTPServer,
+    VirtualNetwork,
+    form_decode,
+    form_encode,
+)
+
+__all__ = [
+    "HTTPClient",
+    "HTTPError",
+    "HTTPRequest",
+    "HTTPResponse",
+    "HTTPServer",
+    "VirtualNetwork",
+    "form_decode",
+    "form_encode",
+]

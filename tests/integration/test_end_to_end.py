@@ -1,0 +1,150 @@
+"""Integration: the full LOD pipeline across realistic network conditions.
+
+These tests stitch every subsystem together — recorder → orchestrator
+(Petri-net verified) → publisher (HTTP form) → media server → multiple
+heterogeneous students — and assert whole-system behaviour rather than
+module contracts.
+"""
+
+import pytest
+
+from repro.asf.drm import DRMError, LicenseServer
+from repro.lod import (
+    LectureRecorder,
+    LODPlayback,
+    MediaStore,
+    MicrophoneSource,
+    WebPublishingManager,
+)
+from repro.streaming import MediaPlayer, MediaServer
+from repro.web import HTTPClient, VirtualNetwork, form_encode
+
+
+def record_lecture():
+    recorder = LectureRecorder(
+        "Petri Nets in Practice", "Prof. Deng", microphone=MicrophoneSource()
+    )
+    recorder.start()
+    recorder.annotate(4.0, "definition of a place", duration=2.0)
+    recorder.advance_slide(10.0, importance=1)
+    recorder.advance_slide(18.0)
+    recorder.advance_slide(26.0, importance=1)
+    return recorder.finish(34.0)
+
+
+@pytest.fixture
+def campus():
+    """A server, the teacher's machine, and three students on different links."""
+    net = VirtualNetwork()
+    net.connect("teacher", "server", bandwidth=10e6, delay=0.005)
+    net.connect("server", "lan-student", bandwidth=5e6, delay=0.005)
+    net.connect("server", "dsl-student", bandwidth=500_000, delay=0.04)
+    net.connect("server", "lossy-student", bandwidth=2e6, delay=0.08,
+                loss_rate=0.03)
+    server = MediaServer(net, "server", port=8080)
+    store = MediaStore()
+    lecture = record_lecture()
+    store.register_lecture("/videos/petri.mpg", "/slides/petri/", lecture)
+    manager = WebPublishingManager(server, store)
+    return net, server, manager, lecture
+
+
+class TestFullPipeline:
+    def test_form_publish_then_three_students_watch(self, campus):
+        net, server, manager, lecture = campus
+        teacher = HTTPClient(net, "teacher")
+        response = teacher.post(
+            "http://server:8080/publish",
+            body=form_encode(
+                {"video_path": "/videos/petri.mpg",
+                 "slide_dir": "/slides/petri/", "point": "petri101"}
+            ),
+        )
+        assert response.ok
+        url = response.body["url"]
+
+        for host in ("lan-student", "dsl-student", "lossy-student"):
+            player = MediaPlayer(net, host)
+            report = player.watch(url)
+            assert report.duration_watched == pytest.approx(
+                lecture.duration, abs=0.3
+            ), host
+            slides = [c.command.parameter for c in report.slide_changes()]
+            assert slides == [s.name for s in lecture.segments], host
+
+    def test_slides_synchronized_within_tick_on_every_link(self, campus):
+        net, server, manager, lecture = campus
+        record = manager.publish(
+            video_path="/videos/petri.mpg", slide_dir="/slides/petri/",
+            point="sync-check",
+        )
+        for host in ("lan-student", "dsl-student", "lossy-student"):
+            playback = LODPlayback(net, host, lecture, record.url)
+            _, audit = playback.watch()
+            assert audit.ok, host
+            assert audit.max_error <= 2 * MediaPlayer.RENDER_TICK, host
+
+    def test_annotation_commands_delivered(self, campus):
+        net, server, manager, lecture = campus
+        record = manager.publish(
+            video_path="/videos/petri.mpg", slide_dir="/slides/petri/",
+            point="notes",
+        )
+        report = MediaPlayer(net, "lan-student").watch(record.url)
+        annotations = [
+            c for c in report.commands if c.command.type == "ANNOTATION"
+        ]
+        assert len(annotations) == 1
+        assert annotations[0].position == pytest.approx(4.0, abs=0.2)
+
+    def test_level_replay_is_shorter_than_full(self, campus):
+        net, server, manager, lecture = campus
+        record = manager.publish(
+            video_path="/videos/petri.mpg", slide_dir="/slides/petri/",
+            point="levels",
+        )
+        tree = manager.content_tree_of("levels")
+        playback = LODPlayback(net, "lan-student", lecture, record.url)
+        level1 = playback.watch_level(tree, level=1)
+        full = playback.watch_level(tree, level=tree.highest_level)
+        assert len(level1.segments_played) < len(full.segments_played)
+        assert level1.coverage == 1.0 and full.coverage == 1.0
+
+    def test_concurrent_students_share_the_point(self, campus):
+        net, server, manager, lecture = campus
+        record = manager.publish(
+            video_path="/videos/petri.mpg", slide_dir="/slides/petri/",
+            point="shared",
+        )
+        players = [
+            MediaPlayer(net, host)
+            for host in ("lan-student", "dsl-student")
+        ]
+        for player in players:
+            player.connect(record.url)
+            player.play()
+        reports = [p.run_until_finished() for p in players]
+        for report in reports:
+            assert report.duration_watched == pytest.approx(
+                lecture.duration, abs=0.3
+            )
+        assert server.sessions.total_created == 2
+
+
+class TestProtectedPipeline:
+    def test_drm_end_to_end(self, campus):
+        net, server, manager, lecture = campus
+        licenses = LicenseServer()
+        manager.license_server = licenses
+        record = manager.publish(
+            video_path="/videos/petri.mpg", slide_dir="/slides/petri/",
+            point="protected", protect=True,
+        )
+        licenses.entitle("protected", "lan-student")
+        ok = MediaPlayer(net, "lan-student", license_server=licenses)
+        report = ok.watch(record.url)
+        assert report.duration_watched > lecture.duration - 0.5
+
+        denied = MediaPlayer(net, "dsl-student", license_server=licenses)
+        with pytest.raises(DRMError):
+            denied.connect(record.url)

@@ -1,0 +1,77 @@
+"""Integration: every example script runs clean and prints its key lines.
+
+The examples are part of the public API contract — this keeps them green.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "published at http://server:8080/lod/lod30" in out
+        assert "slide changes" in out
+        assert "slide2" in out
+
+    def test_lecture_publishing(self):
+        out = run_example("lecture_publishing.py")
+        assert "published ->" in out
+        assert "script commands:" in out
+        assert "extended-net playout schedule:" in out
+        assert "stateful catch-up" in out
+
+    def test_distance_learning_classroom(self):
+        out = run_example("distance_learning_classroom.py")
+        assert "denied:" in out
+        assert "with 1s sync beacons" in out
+        assert "Jain fairness index" in out
+
+    def test_adaptive_summarization(self):
+        out = run_example("adaptive_summarization.py")
+        assert "LevelNodes[2]->value = 100" in out
+        assert "LevelNodes[2]->value = 120" in out  # after the Fig. 3 insert
+        assert "linear truncation" in out
+
+    def test_live_broadcast(self):
+        out = run_example("live_broadcast.py")
+        assert "broadcasting at" in out
+        assert "latecomer" in out
+        assert "architecture" in out
+
+    def test_shared_review_session(self):
+        out = run_example("shared_review_session.py")
+        assert "denied:" in out
+        assert "floor passed to 'josh'" in out
+        assert "per-member playback" in out
+
+    def test_course_catalog(self):
+        out = run_example("course_catalog.py")
+        assert "published CS520" in out
+        assert "resumed at" in out
+        assert "course completion" in out
+
+    def test_module_demo(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Petri-net verification error" in result.stdout
+        assert "content-tree summary levels" in result.stdout

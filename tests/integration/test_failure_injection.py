@@ -1,0 +1,130 @@
+"""Integration: failure injection — outages, mid-stream unpublish, decay.
+
+The paper's system ran on a real campus network; these tests check the
+reproduction degrades the way a streaming system should rather than
+silently corrupting state.
+"""
+
+import pytest
+
+from repro.lod import Lecture, MediaStore, WebPublishingManager
+from repro.streaming import MediaPlayer, MediaServer, PlayerError, PlayerState
+from repro.web import HTTPError, HTTPClient, VirtualNetwork
+
+
+def published(duration_slides=(10.0, 10.0, 10.0), **link):
+    lecture = Lecture.from_slide_durations(
+        "FI", "Prof", list(duration_slides),
+        slide_width=160, slide_height=120,
+    )
+    net = VirtualNetwork()
+    params = dict(bandwidth=2e6, delay=0.02)
+    params.update(link)
+    net.connect("server", "student", **params)
+    server = MediaServer(net, "server", port=8080)
+    store = MediaStore()
+    store.register_lecture("/v", "/s", lecture)
+    record = WebPublishingManager(server, store).publish(
+        video_path="/v", slide_dir="/s", point="fi"
+    )
+    return net, server, record
+
+
+def play_until_playing(net, record, **player_kwargs):
+    player = MediaPlayer(net, "student", **player_kwargs)
+    player.connect(record.url)
+    player.play()
+    while player.state is not PlayerState.PLAYING:
+        net.simulator.step()
+    return player
+
+
+class TestServerSideFailures:
+    def test_unpublish_mid_stream_stalls_client(self):
+        net, server, record = published()
+        player = play_until_playing(net, record)
+        net.simulator.run_until(net.simulator.now + 2)
+        server.unpublish("fi")
+        # the client loses its feed and cannot finish
+        with pytest.raises(PlayerError):
+            player.run_until_finished(timeout=40.0)
+        assert player.state in (PlayerState.BUFFERING, PlayerState.PLAYING)
+
+    def test_reconnect_after_republish(self):
+        net, server, record = published()
+        server.unpublish("fi")
+        # describe now 404s
+        fresh = MediaPlayer(net, "student")
+        with pytest.raises(PlayerError):
+            fresh.connect(record.url)
+
+    def test_session_control_after_close_is_conflict(self):
+        net, server, record = published()
+        player = play_until_playing(net, record)
+        server.close_session(player.session_id)
+        with pytest.raises(PlayerError):
+            player.pause()  # 409 from the control plane
+
+
+class TestNetworkFailures:
+    def test_total_outage_then_recovery(self):
+        net, server, record = published()
+        player = play_until_playing(net, record)
+        net.simulator.run_until(net.simulator.now + 2)
+        link = net.link("server", "student")
+        link.loss_rate = 0.999999  # outage
+        net.simulator.run_until(net.simulator.now + 8)
+        assert player.rebuffer_count >= 1
+        assert player.state is PlayerState.BUFFERING
+        link.loss_rate = 0.0  # repair
+        report = player.run_until_finished(timeout=200.0)
+        assert report.duration_watched == pytest.approx(30.0, abs=0.3)
+        assert report.rebuffer_time > 1.0
+
+    def test_sustained_light_loss_degrades_but_completes(self):
+        net, server, record = published(loss_rate=0.05)
+        player = MediaPlayer(net, "student")
+        report = player.watch(record.url)
+        assert report.duration_watched == pytest.approx(30.0, abs=0.3)
+        media_loss = [
+            rate for stream, rate in report.loss_rates.items() if stream in (1, 2)
+        ]
+        assert any(rate > 0 for rate in media_loss)
+        # commands are in the header, so slides still fire perfectly
+        assert len(report.slide_changes()) == 3
+
+    def test_control_plane_survives_loss(self):
+        # lossy link: HTTP rides ARQ, so control still works (slower)
+        net, server, record = published(loss_rate=0.25)
+        player = MediaPlayer(net, "student")
+        header = player.connect(record.url)
+        assert header.file_properties.duration_ms == 30_000
+
+
+class TestClientMisuse:
+    def test_watch_timeout_is_reported(self):
+        net, server, record = published(bandwidth=40_000)  # hopeless link
+        player = MediaPlayer(net, "student")
+        player.connect(record.url)
+        player.play()
+        with pytest.raises(PlayerError):
+            player.run_until_finished(timeout=30.0)
+
+    def test_report_available_after_failed_run(self):
+        net, server, record = published(bandwidth=40_000)
+        player = MediaPlayer(net, "student")
+        player.connect(record.url)
+        player.play()
+        try:
+            player.run_until_finished(timeout=30.0)
+        except PlayerError:
+            pass
+        report = player.report()  # partial metrics still available
+        assert report.duration_watched < 30.0
+
+    def test_double_stop_rejected(self):
+        net, server, record = published()
+        player = play_until_playing(net, record)
+        player.stop()
+        with pytest.raises(PlayerError):
+            player.stop()

@@ -1,0 +1,90 @@
+"""Property-based tests on the interval algebra."""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.core.intervals import (
+    Interval,
+    TemporalRelation,
+    relation_between,
+    schedule_pair,
+)
+
+durations = st.floats(min_value=0.1, max_value=100.0, allow_nan=False)
+fractions = st.floats(min_value=0.05, max_value=0.95, allow_nan=False)
+
+
+@given(durations, durations, fractions)
+def test_meets_schedule_classifies_back(da, db, _):
+    a, b = schedule_pair(TemporalRelation.MEETS, da, db)
+    assert relation_between(a, b) is TemporalRelation.MEETS
+
+
+@given(durations, durations, fractions)
+def test_before_schedule_classifies_back(da, db, frac):
+    a, b = schedule_pair(TemporalRelation.BEFORE, da, db, delay=frac * 10)
+    assert relation_between(a, b) is TemporalRelation.BEFORE
+
+
+@given(durations, fractions)
+def test_equals_schedule_classifies_back(da, _):
+    a, b = schedule_pair(TemporalRelation.EQUALS, da, da)
+    assert relation_between(a, b) is TemporalRelation.EQUALS
+
+
+@given(durations, durations, fractions)
+def test_during_schedule_classifies_back(da, db, frac):
+    inner, outer = min(da, db), max(da, db) + 1.0
+    delay = frac * (outer - inner)
+    a, b = schedule_pair(TemporalRelation.DURING, inner, outer, delay=delay)
+    assert relation_between(a, b) is TemporalRelation.DURING
+
+
+@given(durations, durations, fractions)
+def test_overlaps_schedule_classifies_back(da, db, frac):
+    delay = frac * da
+    assume(delay + db > da + 1e-6)
+    assume(delay > 1e-6 and da - delay > 1e-6)
+    a, b = schedule_pair(TemporalRelation.OVERLAPS, da, db, delay=delay)
+    assert relation_between(a, b) is TemporalRelation.OVERLAPS
+
+
+@given(durations, durations)
+def test_starts_schedule_classifies_back(da, db):
+    shorter, longer = min(da, db), max(da, db) + 0.5
+    a, b = schedule_pair(TemporalRelation.STARTS, shorter, longer)
+    assert relation_between(a, b) is TemporalRelation.STARTS
+
+
+@given(durations, durations)
+def test_finishes_schedule_classifies_back(da, db):
+    shorter, longer = min(da, db), max(da, db) + 0.5
+    a, b = schedule_pair(TemporalRelation.FINISHES, shorter, longer)
+    assert relation_between(a, b) is TemporalRelation.FINISHES
+
+
+@given(durations, durations, fractions, st.floats(min_value=0, max_value=50))
+def test_origin_shift_preserves_relation(da, db, frac, origin):
+    a0, b0 = schedule_pair(TemporalRelation.MEETS, da, db)
+    a1, b1 = schedule_pair(TemporalRelation.MEETS, da, db, origin=origin)
+    assert relation_between(a0, b0) is relation_between(a1, b1)
+    assert a1.start == a0.start + origin
+
+
+@given(durations, durations)
+def test_durations_preserved_by_scheduling(da, db):
+    a, b = schedule_pair(TemporalRelation.MEETS, da, db)
+    assert abs(a.duration - da) < 1e-9
+    assert abs(b.duration - db) < 1e-9
+
+
+@given(st.sampled_from(list(TemporalRelation)))
+def test_inverse_involution(rel):
+    assert rel.inverse().inverse() is rel
+
+
+@given(st.sampled_from(list(TemporalRelation)))
+def test_canonicalize_lands_in_canonical_set(rel):
+    canonical, swapped = rel.canonicalize()
+    assert canonical.is_canonical()
+    if rel.is_canonical():
+        assert not swapped

@@ -1,0 +1,135 @@
+"""Property-based tests on the Petri-net core.
+
+Invariants checked on randomly generated nets and firing sequences:
+
+* firing preserves every P-invariant's weighted token count;
+* ``Marking`` is a value type (hash/eq agree, delta round-trips);
+* every marking in the reachability graph is reachable by the recorded
+  edges, and enabled transitions from any graph marking stay inside the
+  graph (closure).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import (
+    conserved_token_count,
+    is_p_invariant,
+    p_invariants,
+    reachability_graph,
+)
+from repro.core.petri import Marking, PetriNet
+
+
+# ----------------------------------------------------------------------
+# marking as a value type
+# ----------------------------------------------------------------------
+
+counts = st.dictionaries(
+    st.sampled_from([f"p{i}" for i in range(6)]),
+    st.integers(min_value=0, max_value=5),
+    max_size=6,
+)
+
+
+@given(counts)
+def test_marking_hash_eq_consistent(c):
+    a, b = Marking(c), Marking(dict(c))
+    assert a == b and hash(a) == hash(b)
+
+
+@given(counts)
+def test_marking_zero_entries_ignored(c):
+    padded = dict(c)
+    padded["zzz"] = 0
+    assert Marking(c) == Marking(padded)
+
+
+@given(counts, counts)
+def test_marking_delta_roundtrip(base, delta):
+    m = Marking(base)
+    up = m.with_delta(delta)
+    down = up.with_delta({k: -v for k, v in delta.items()})
+    assert down == m
+
+
+@given(counts, counts)
+def test_covers_iff_componentwise(a, b):
+    ma, mb = Marking(a), Marking(b)
+    expected = all(ma[p] >= mb[p] for p in set(a) | set(b))
+    assert ma.covers(mb) == expected
+
+
+# ----------------------------------------------------------------------
+# random nets
+# ----------------------------------------------------------------------
+
+
+def random_net(seed: int, n_places: int = 5, n_transitions: int = 4) -> PetriNet:
+    rng = random.Random(seed)
+    net = PetriNet(f"rand{seed}")
+    for i in range(n_places):
+        net.add_place(f"p{i}", tokens=rng.randint(0, 2))
+    for j in range(n_transitions):
+        net.add_transition(f"t{j}")
+        inputs = rng.sample(range(n_places), rng.randint(1, 2))
+        outputs = rng.sample(range(n_places), rng.randint(1, 2))
+        for i in inputs:
+            net.add_arc(f"p{i}", f"t{j}", weight=rng.randint(1, 2))
+        for i in outputs:
+            net.add_arc(f"t{j}", f"p{i}", weight=rng.randint(1, 2))
+    return net
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_firing_preserves_p_invariants(seed):
+    net = random_net(seed)
+    invariants = p_invariants(net)
+    rng = random.Random(seed + 1)
+    for _ in range(30):
+        enabled = net.enabled()
+        if not enabled:
+            break
+        net.fire(rng.choice(enabled))
+    for inv in invariants:
+        before = conserved_token_count(net, inv)
+        weighted_now = sum(w * net.marking[p] for p, w in inv.items())
+        assert weighted_now == before
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_p_invariant_basis_passes_checker(seed):
+    net = random_net(seed)
+    for inv in p_invariants(net):
+        assert is_p_invariant(net, inv)
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_reachability_graph_closed_under_firing(seed):
+    net = random_net(seed, n_places=4, n_transitions=3)
+    try:
+        graph = reachability_graph(net, max_states=2_000)
+    except Exception:
+        return  # unbounded net: coverability territory, not this test
+    for marking in graph.markings:
+        for t in net.enabled(marking):
+            nxt = marking.with_delta(net.fire_delta(t))
+            assert nxt in graph.markings
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_graph_edges_are_valid_firings(seed):
+    net = random_net(seed, n_places=4, n_transitions=3)
+    try:
+        graph = reachability_graph(net, max_states=2_000)
+    except Exception:
+        return
+    for src, t, dst in graph.edges:
+        assert net.is_enabled(t, src)
+        assert src.with_delta(net.fire_delta(t)) == dst

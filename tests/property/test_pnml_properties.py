@@ -1,0 +1,100 @@
+"""Property-based tests: PNML round trip over random nets."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.petri import PetriNet
+from repro.core.pnml import net_from_pnml, net_to_pnml
+
+
+def random_net(seed: int) -> PetriNet:
+    rng = random.Random(seed)
+    net = PetriNet(f"net{seed}")
+    n_places = rng.randint(1, 7)
+    n_transitions = rng.randint(1, 6)
+    for i in range(n_places):
+        capacity = rng.choice([None, None, rng.randint(1, 5)])
+        net.add_place(
+            f"p{i}", tokens=rng.randint(0, 3), capacity=capacity,
+            label=rng.choice(["", f"label {i}", "ünïcode ⟶"]),
+        )
+    for j in range(n_transitions):
+        net.add_transition(
+            f"t{j}", priority=rng.randint(0, 5),
+            label=rng.choice(["", f"move {j}"]),
+        )
+        for i in rng.sample(range(n_places), rng.randint(1, min(2, n_places))):
+            net.add_arc(f"p{i}", f"t{j}", weight=rng.randint(1, 4))
+        for i in rng.sample(range(n_places), rng.randint(1, min(2, n_places))):
+            net.add_arc(f"t{j}", f"p{i}", weight=rng.randint(1, 4))
+        if rng.random() < 0.3:
+            candidates = [
+                i for i in range(n_places)
+                if f"p{i}" not in net.inputs(f"t{j}")
+            ]
+            if candidates:
+                net.add_arc(
+                    f"p{rng.choice(candidates)}", f"t{j}",
+                    weight=rng.randint(1, 2), inhibitor=True,
+                )
+    return net
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_round_trip_structure(seed):
+    net = random_net(seed)
+    clone, durations = net_from_pnml(net_to_pnml(net))
+    assert durations == {}
+    assert {p.name for p in clone.places} == {p.name for p in net.places}
+    assert {t.name for t in clone.transitions} == {
+        t.name for t in net.transitions
+    }
+    for t in (tr.name for tr in net.transitions):
+        assert clone.inputs(t) == net.inputs(t)
+        assert clone.outputs(t) == net.outputs(t)
+        assert clone.inhibitors(t) == net.inhibitors(t)
+    assert clone.initial_marking == net.initial_marking
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_round_trip_attributes(seed):
+    net = random_net(seed)
+    clone, _ = net_from_pnml(net_to_pnml(net))
+    for place in net.places:
+        twin = clone.place(place.name)
+        assert twin.capacity == place.capacity
+        # empty labels default back to the id on export
+        assert twin.label in (place.label, place.name)
+    for transition in net.transitions:
+        assert clone.transition(transition.name).priority == transition.priority
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_round_trip_behaviour(seed):
+    net = random_net(seed)
+    clone, _ = net_from_pnml(net_to_pnml(net))
+    rng = random.Random(seed + 7)
+    for _ in range(20):
+        enabled_a = net.enabled()
+        enabled_b = clone.enabled()
+        assert enabled_a == enabled_b
+        if not enabled_a:
+            break
+        choice = rng.choice(enabled_a)
+        net.fire(choice)
+        clone.fire(choice)
+        assert net.marking == clone.marking
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_double_round_trip_is_identity(seed):
+    net = random_net(seed)
+    once = net_to_pnml(net)
+    clone, _ = net_from_pnml(once)
+    twice = net_to_pnml(clone)
+    assert once == twice

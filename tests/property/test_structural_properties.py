@@ -1,0 +1,102 @@
+"""Property-based tests on siphon/trap analysis over random nets."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.petri import PetriNet
+from repro.core.structural import (
+    is_siphon,
+    is_trap,
+    maximal_siphon_within,
+    maximal_trap_within,
+    minimal_siphons,
+)
+
+
+def random_net(seed: int, n_places: int = 6, n_transitions: int = 5) -> PetriNet:
+    rng = random.Random(seed)
+    net = PetriNet(f"s{seed}")
+    for i in range(n_places):
+        net.add_place(f"p{i}", tokens=rng.randint(0, 1))
+    for j in range(n_transitions):
+        net.add_transition(f"t{j}")
+        for i in rng.sample(range(n_places), rng.randint(1, 2)):
+            net.add_arc(f"p{i}", f"t{j}")
+        for i in rng.sample(range(n_places), rng.randint(1, 2)):
+            net.add_arc(f"t{j}", f"p{i}")
+    return net
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_maximal_siphon_is_siphon(seed):
+    net = random_net(seed)
+    result = maximal_siphon_within(net, [p.name for p in net.places])
+    assert not result or is_siphon(net, result)
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_maximal_trap_is_trap(seed):
+    net = random_net(seed)
+    result = maximal_trap_within(net, [p.name for p in net.places])
+    assert not result or is_trap(net, result)
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_maximal_siphon_contains_every_siphon_in_subset(seed):
+    net = random_net(seed)
+    places = [p.name for p in net.places]
+    maximal = maximal_siphon_within(net, places)
+    for siphon in minimal_siphons(net, limit=50_000):
+        assert set(siphon) <= maximal
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_minimal_siphons_are_minimal(seed):
+    net = random_net(seed)
+    for siphon in minimal_siphons(net, limit=50_000):
+        assert is_siphon(net, siphon)
+        for place in siphon:
+            assert not is_siphon(net, set(siphon) - {place})
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_empty_siphon_stays_empty(seed):
+    """Behavioural consequence: an initially-empty siphon never gains tokens."""
+    net = random_net(seed)
+    rng = random.Random(seed + 1)
+    empty = [
+        s for s in minimal_siphons(net, limit=50_000)
+        if all(net.initial_marking[p] == 0 for p in s)
+    ]
+    for _ in range(40):
+        enabled = net.enabled()
+        if not enabled:
+            break
+        net.fire(rng.choice(enabled))
+    for siphon in empty:
+        assert all(net.marking[p] == 0 for p in siphon)
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_marked_trap_stays_marked(seed):
+    """Behavioural consequence: a marked trap never fully drains."""
+    net = random_net(seed)
+    rng = random.Random(seed + 2)
+    trap = maximal_trap_within(net, [p.name for p in net.places])
+    initially_marked = bool(trap) and any(
+        net.initial_marking[p] > 0 for p in trap
+    )
+    for _ in range(40):
+        enabled = net.enabled()
+        if not enabled:
+            break
+        net.fire(rng.choice(enabled))
+    if initially_marked:
+        assert any(net.marking[p] > 0 for p in trap)

@@ -1,0 +1,215 @@
+"""Unit tests for Petri-net analysis (repro.core.analysis)."""
+
+import pytest
+
+from repro.core.analysis import (
+    StateSpaceLimitExceeded,
+    bound,
+    conserved_token_count,
+    coverability_graph,
+    find_deadlocks,
+    is_bounded,
+    is_deadlock_free,
+    is_live,
+    is_reachable,
+    is_reversible,
+    is_safe,
+    p_invariants,
+    reachability_graph,
+    t_invariants,
+)
+from repro.core.builder import NetBuilder
+from repro.core.petri import Marking, PetriNet, PetriNetError
+
+
+def cycle_net():
+    """p1 -t1-> p2 -t2-> p1: a live, safe, reversible loop."""
+    return (
+        NetBuilder("cycle")
+        .place("p1", tokens=1)
+        .place("p2")
+        .transitions("t1", "t2")
+        .chain("p1", "t1", "p2")
+        .chain("p2", "t2", "p1")
+        .build()
+    )
+
+
+def producer_net():
+    """t produces into p forever: unbounded."""
+    net = PetriNet("producer")
+    net.add_place("run", tokens=1)
+    net.add_place("buf")
+    net.add_transition("t")
+    net.add_arc("run", "t")
+    net.add_arc("t", "run")
+    net.add_arc("t", "buf")
+    return net
+
+
+def terminating_net():
+    """p1 -t-> p2, then nothing: deadlocks in p2."""
+    return (
+        NetBuilder("term")
+        .place("p1", tokens=1)
+        .place("p2")
+        .transition("t")
+        .chain("p1", "t", "p2")
+        .build()
+    )
+
+
+class TestReachability:
+    def test_cycle_has_two_markings(self):
+        graph = reachability_graph(cycle_net())
+        assert len(graph) == 2
+        assert graph.transitions_fired() == {"t1", "t2"}
+
+    def test_initial_in_graph(self):
+        graph = reachability_graph(cycle_net())
+        assert Marking({"p1": 1}) in graph.markings
+
+    def test_state_cap_enforced(self):
+        with pytest.raises(StateSpaceLimitExceeded):
+            reachability_graph(producer_net(), max_states=10)
+
+    def test_successors(self):
+        graph = reachability_graph(cycle_net())
+        succ = graph.successors(Marking({"p1": 1}))
+        assert succ == [("t1", Marking({"p2": 1}))]
+
+    def test_is_reachable(self):
+        net = terminating_net()
+        assert is_reachable(net, Marking({"p2": 1}))
+        assert not is_reachable(net, Marking({"p1": 1, "p2": 1}))
+
+    def test_explicit_initial_marking(self):
+        net = cycle_net()
+        graph = reachability_graph(net, initial=Marking({"p2": 1}))
+        assert graph.initial == Marking({"p2": 1})
+
+
+class TestCoverability:
+    def test_bounded_net_no_omega(self):
+        graph = coverability_graph(cycle_net())
+        assert not graph.has_omega()
+
+    def test_unbounded_place_detected(self):
+        graph = coverability_graph(producer_net())
+        assert graph.unbounded_places() == {"buf"}
+
+    def test_inhibitor_nets_rejected(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        net.add_place("q")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")
+        net.add_arc("q", "t", inhibitor=True)
+        with pytest.raises(PetriNetError):
+            coverability_graph(net)
+
+
+class TestBoundedness:
+    def test_cycle_is_safe(self):
+        assert is_safe(cycle_net())
+        assert bound(cycle_net()) == 1
+
+    def test_producer_unbounded(self):
+        assert not is_bounded(producer_net())
+
+    def test_two_bounded(self):
+        net = (
+            NetBuilder()
+            .place("p", tokens=2)
+            .place("q")
+            .transition("t")
+            .chain("p", "t", "q")
+            .build()
+        )
+        assert bound(net) == 2
+        assert not is_safe(net)
+
+    def test_empty_net_bound_zero(self):
+        net = PetriNet()
+        net.add_place("p")
+        assert bound(net) == 0
+
+
+class TestLivenessDeadlock:
+    def test_cycle_is_live(self):
+        assert is_live(cycle_net())
+
+    def test_terminating_net_not_live(self):
+        assert not is_live(terminating_net())
+
+    def test_terminating_net_deadlocks(self):
+        dead = find_deadlocks(terminating_net())
+        assert dead == [Marking({"p2": 1})]
+
+    def test_accepting_marking_not_a_deadlock(self):
+        accepting = [Marking({"p2": 1})]
+        assert is_deadlock_free(terminating_net(), accepting=accepting)
+
+    def test_cycle_deadlock_free(self):
+        assert is_deadlock_free(cycle_net())
+
+    def test_dead_transition_makes_not_live(self):
+        net = cycle_net()
+        net.add_place("never")
+        net.add_transition("t_dead")
+        net.add_arc("never", "t_dead")
+        net.add_arc("t_dead", "p1")
+        assert not is_live(net)
+
+    def test_reversible_cycle(self):
+        assert is_reversible(cycle_net())
+
+    def test_terminating_not_reversible(self):
+        assert not is_reversible(terminating_net())
+
+
+class TestInvariants:
+    def test_cycle_p_invariant_conserves_one_token(self):
+        net = cycle_net()
+        invs = p_invariants(net)
+        assert len(invs) == 1
+        assert invs[0] == {"p1": 1, "p2": 1}
+        assert conserved_token_count(net, invs[0]) == 1
+
+    def test_cycle_t_invariant_is_full_loop(self):
+        invs = t_invariants(cycle_net())
+        assert invs == [{"t1": 1, "t2": 1}]
+
+    def test_producer_has_no_p_invariant_on_buf(self):
+        invs = p_invariants(producer_net())
+        # only the run-place self-loop is conserved
+        assert all("buf" not in inv for inv in invs)
+        assert {"run": 1} in invs
+
+    def test_weighted_invariant(self):
+        # t consumes 2 from a, produces 1 into b => invariant a + 2b
+        net = PetriNet()
+        net.add_place("a", tokens=4)
+        net.add_place("b")
+        net.add_transition("t")
+        net.add_arc("a", "t", weight=2)
+        net.add_arc("t", "b")
+        invs = p_invariants(net)
+        assert {"a": 1, "b": 2} in invs
+
+    def test_invariant_holds_along_run(self):
+        net = cycle_net()
+        inv = p_invariants(net)[0]
+        start = conserved_token_count(net, inv)
+        net.fire("t1")
+        weighted = sum(w * net.marking[p] for p, w in inv.items())
+        assert weighted == start
+
+    def test_no_transitions_every_place_invariant(self):
+        net = PetriNet()
+        net.add_place("x", tokens=1)
+        assert p_invariants(net) == [{"x": 1}]
+
+    def test_t_invariants_empty_for_terminating(self):
+        assert t_invariants(terminating_net()) == []

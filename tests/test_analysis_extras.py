@@ -1,0 +1,135 @@
+"""Unit tests for analysis extensions: firing paths, free choice, graph DOT."""
+
+import pytest
+
+from repro.core.analysis import (
+    StateSpaceLimitExceeded,
+    is_free_choice,
+    reachability_graph,
+    reachability_graph_to_dot,
+    shortest_firing_sequence,
+)
+from repro.core.builder import NetBuilder
+from repro.core.extended import build_control_net, build_floor_net
+from repro.core.petri import Marking, PetriNet
+
+
+def diamond_net():
+    """Two paths to 'end': short (t_direct) and long (t_a then t_b)."""
+    return (
+        NetBuilder("diamond")
+        .place("start", tokens=1)
+        .places("mid", "end")
+        .transitions("t_direct", "t_a", "t_b")
+        .chain("start", "t_direct", "end")
+        .chain("start", "t_a", "mid", "t_b", "end")
+        .build()
+    )
+
+
+class TestShortestFiringSequence:
+    def test_finds_shortest_path(self):
+        path = shortest_firing_sequence(diamond_net(), Marking({"end": 1}))
+        assert path == ["t_direct"]
+
+    def test_empty_path_for_initial(self):
+        net = diamond_net()
+        assert shortest_firing_sequence(net, Marking({"start": 1})) == []
+
+    def test_unreachable_returns_none(self):
+        net = diamond_net()
+        assert shortest_firing_sequence(net, Marking({"start": 2})) is None
+
+    def test_path_replays(self):
+        net = build_floor_net(["a", "b"])
+        goal = net.marking.with_delta(
+            {"floor": -1, "idle_b": -1, "holding_b": 1, "waiting_b": 0}
+        )
+        path = shortest_firing_sequence(net, goal)
+        assert path is not None
+        net.fire_sequence(path)
+        assert net.marking == goal
+
+    def test_multi_step_path(self):
+        net = build_control_net()
+        goal = Marking({"paused": 1})
+        path = shortest_firing_sequence(net, goal)
+        assert path == ["t_play", "t_pause"]
+
+    def test_state_cap(self):
+        net = PetriNet()
+        net.add_place("run", tokens=1)
+        net.add_place("heap")
+        net.add_transition("t")
+        net.add_arc("run", "t")
+        net.add_arc("t", "run")
+        net.add_arc("t", "heap")
+        with pytest.raises(StateSpaceLimitExceeded):
+            shortest_firing_sequence(net, Marking({"impossible": 1}) if False
+                                     else Marking({"heap": 10**6}),
+                                     max_states=50)
+
+
+class TestFreeChoice:
+    def test_control_net_is_free_choice(self):
+        # a pure state machine: every transition has a singleton preset
+        assert is_free_choice(build_control_net())
+
+    def test_floor_net_is_not_free_choice(self):
+        # grant_u consumes {waiting_u, floor}: the shared 'floor' place
+        # feeds transitions with different presets (asymmetric choice), so
+        # Commoner's check on it is strong evidence, not a theorem
+        assert not is_free_choice(build_floor_net(["a", "b", "c"]))
+
+    def test_shared_place_with_equal_presets_ok(self):
+        assert is_free_choice(diamond_net())
+
+    def test_asymmetric_confusion_not_free_choice(self):
+        net = (
+            NetBuilder()
+            .place("p", tokens=1)
+            .place("q", tokens=1)
+            .places("o1", "o2")
+            .transitions("t1", "t2")
+            .arc("p", "t1").arc("t1", "o1")
+            .arc("p", "t2").arc("q", "t2").arc("t2", "o2")
+            .build()
+        )
+        assert not is_free_choice(net)
+
+    def test_inhibitor_nets_not_free_choice(self):
+        net = (
+            NetBuilder()
+            .place("p", tokens=1)
+            .place("i")
+            .place("o")
+            .transition("t")
+            .arc("p", "t").arc("t", "o")
+            .arc("i", "t", inhibitor=True)
+            .build()
+        )
+        assert not is_free_choice(net)
+
+
+class TestReachabilityDot:
+    def test_renders_nodes_edges_and_initial(self):
+        net = build_control_net()
+        graph = reachability_graph(net)
+        dot = reachability_graph_to_dot(graph)
+        assert dot.startswith("digraph reachability")
+        assert "peripheries=2" in dot  # initial marking
+        assert 'label="t_play"' in dot
+        assert "idle:1" in dot
+
+    def test_dead_markings_shaded(self):
+        net = build_control_net()
+        dot = reachability_graph_to_dot(reachability_graph(net))
+        assert "fillcolor" in dot  # 'stopped' is absorbing
+
+    def test_empty_marking_label(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        dot = reachability_graph_to_dot(reachability_graph(net))
+        assert "(empty)" in dot

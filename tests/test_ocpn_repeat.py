@@ -1,0 +1,82 @@
+"""Unit tests for OCPN relabel/repeat (loop unrolling)."""
+
+import pytest
+
+from repro.core.ocpn import (
+    Composite,
+    MediaLeaf,
+    SpecError,
+    compile_spec,
+    parallel,
+    relabel,
+    repeat,
+    sequence,
+    spec_duration,
+    spec_intervals,
+    spec_leaves,
+    verify_schedule,
+)
+from repro.core.intervals import TemporalRelation as R
+
+
+SEGMENT = parallel(MediaLeaf("v", 5), MediaLeaf("s", 5))
+
+
+class TestRelabel:
+    def test_leaf_names_suffixed(self):
+        renamed = relabel(SEGMENT, "x")
+        assert {l.name for l in spec_leaves(renamed)} == {"v__x", "s__x"}
+
+    def test_structure_preserved(self):
+        spec = Composite(R.DURING, MediaLeaf("a", 2), MediaLeaf("b", 10), delay=3)
+        renamed = relabel(spec, "z")
+        assert renamed.relation is R.DURING and renamed.delay == 3
+        assert spec_duration(renamed) == spec_duration(spec)
+
+    def test_empty_suffix_rejected(self):
+        with pytest.raises(SpecError):
+            relabel(SEGMENT, "")
+
+    def test_relabeled_copies_coexist(self):
+        spec = sequence(relabel(SEGMENT, "a"), relabel(SEGMENT, "b"))
+        compiled = compile_spec(spec)
+        assert max(verify_schedule(compiled).values()) < 1e-9
+
+
+class TestRepeat:
+    def test_duration_multiplies(self):
+        assert spec_duration(repeat(SEGMENT, 3)) == pytest.approx(15.0)
+
+    def test_gap_adds_between_repetitions(self):
+        assert spec_duration(repeat(SEGMENT, 3, gap=2.0)) == pytest.approx(19.0)
+
+    def test_single_repeat_is_relabel(self):
+        spec = repeat(SEGMENT, 1)
+        assert {l.name for l in spec_leaves(spec)} == {"v__r0", "s__r0"}
+
+    def test_repetitions_back_to_back(self):
+        intervals = spec_intervals(repeat(SEGMENT, 3))
+        assert intervals["v__r0"].start == 0
+        assert intervals["v__r1"].start == pytest.approx(5.0)
+        assert intervals["v__r2"].start == pytest.approx(10.0)
+
+    def test_gapped_repetitions(self):
+        intervals = spec_intervals(repeat(SEGMENT, 2, gap=1.5))
+        assert intervals["v__r1"].start == pytest.approx(6.5)
+
+    def test_compiled_net_verifies(self):
+        compiled = compile_spec(repeat(SEGMENT, 4, gap=0.5))
+        assert max(verify_schedule(compiled).values()) < 1e-9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SpecError):
+            repeat(SEGMENT, 0)
+        with pytest.raises(SpecError):
+            repeat(SEGMENT, 2, gap=-1)
+
+    def test_nested_repeat(self):
+        inner = repeat(MediaLeaf("drill", 2), 2)
+        outer = repeat(inner, 2)
+        assert spec_duration(outer) == pytest.approx(8.0)
+        compiled = compile_spec(outer)
+        assert max(verify_schedule(compiled).values()) < 1e-9

@@ -1,0 +1,130 @@
+"""Unit tests for PNML interchange (repro.core.pnml)."""
+
+import pytest
+
+from repro.core.builder import NetBuilder
+from repro.core.extended import build_control_net, build_floor_net
+from repro.core.ocpn import MediaLeaf, compile_spec, parallel, sequence
+from repro.core.pnml import (
+    PNMLError,
+    net_from_pnml,
+    net_to_pnml,
+    timed_net_from_pnml,
+    timed_net_to_pnml,
+)
+
+
+def rich_net():
+    return (
+        NetBuilder("rich")
+        .place("p1", tokens=2, label="start tokens")
+        .place("p2", capacity=3)
+        .place("inhib", tokens=1)
+        .transition("t1", priority=4, label="the move")
+        .arc("p1", "t1", weight=2)
+        .arc("t1", "p2", weight=3)
+        .arc("inhib", "t1", inhibitor=True, weight=2)
+        .build()
+    )
+
+
+class TestRoundTrip:
+    def test_structure_survives(self):
+        net = rich_net()
+        clone, durations = net_from_pnml(net_to_pnml(net))
+        assert durations == {}
+        assert {p.name for p in clone.places} == {"p1", "p2", "inhib"}
+        assert clone.inputs("t1") == {"p1": 2}
+        assert clone.outputs("t1") == {"p2": 3}
+        assert clone.inhibitors("t1") == {"inhib": 2}
+
+    def test_marking_survives(self):
+        clone, _ = net_from_pnml(net_to_pnml(rich_net()))
+        assert clone.initial_marking == {"p1": 2, "inhib": 1}
+
+    def test_labels_priority_capacity_survive(self):
+        clone, _ = net_from_pnml(net_to_pnml(rich_net()))
+        assert clone.place("p1").label == "start tokens"
+        assert clone.place("p2").capacity == 3
+        assert clone.transition("t1").priority == 4
+        assert clone.transition("t1").label == "the move"
+
+    def test_behaviour_identical(self):
+        net = rich_net()
+        clone, _ = net_from_pnml(net_to_pnml(net))
+        # inhibitor threshold is 2; one token does not block
+        assert net.enabled() == clone.enabled() == ["t1"]
+        for n in (net, clone):
+            n.marking = n.marking.with_delta({"inhib": 1})
+        assert net.enabled() == clone.enabled() == []
+
+    def test_timed_net_round_trip(self):
+        compiled = compile_spec(
+            sequence(parallel(MediaLeaf("v", 10), MediaLeaf("s", 10)),
+                     MediaLeaf("tail", 5))
+        )
+        timed = compiled.timed_net
+        clone = timed_net_from_pnml(timed_net_to_pnml(timed))
+        assert clone.durations == timed.durations
+        original = timed.net
+        original.reset()
+        assert clone.execute().makespan() == pytest.approx(
+            timed.execute().makespan()
+        )
+
+    def test_control_and_floor_nets_round_trip(self):
+        for net in (build_control_net(), build_floor_net(["a", "b"])):
+            clone, _ = net_from_pnml(net_to_pnml(net))
+            assert len(clone.places) == len(net.places)
+            assert len(clone.transitions) == len(net.transitions)
+            assert clone.initial_marking == net.initial_marking
+
+
+class TestFormat:
+    def test_declares_ptnet_grammar(self):
+        xml = net_to_pnml(rich_net())
+        assert "http://www.pnml.org/version-2009/grammar/ptnet" in xml
+        assert xml.lstrip().startswith("<?xml")
+
+    def test_default_weight_omitted(self):
+        net = (
+            NetBuilder().place("p", tokens=1).transition("t").arc("p", "t").build()
+        )
+        assert "inscription" not in net_to_pnml(net)
+
+    def test_plain_pnml_without_toolspecific_loads(self):
+        plain = """<?xml version='1.0'?>
+        <pnml><net id="plain" type="x"><page id="p0">
+          <place id="a"><initialMarking><text>1</text></initialMarking></place>
+          <place id="b"/>
+          <transition id="t"/>
+          <arc id="x1" source="a" target="t"/>
+          <arc id="x2" source="t" target="b"/>
+        </page></net></pnml>"""
+        net, durations = net_from_pnml(plain)
+        assert net.run() == ["t"]
+        assert durations == {}
+
+    def test_pages_optional(self):
+        pageless = """<pnml><net id="n" type="x">
+          <place id="a"/><transition id="t"/>
+          <arc id="x" source="a" target="t"/>
+        </net></pnml>"""
+        net, _ = net_from_pnml(pageless)
+        assert net.has_place("a") and net.has_transition("t")
+
+    def test_errors(self):
+        with pytest.raises(PNMLError):
+            net_from_pnml("not xml <<<")
+        with pytest.raises(PNMLError):
+            net_from_pnml("<pnml></pnml>")
+        with pytest.raises(PNMLError):
+            net_from_pnml(
+                "<pnml><net id='n'><page id='p'>"
+                "<place/></page></net></pnml>"
+            )
+        with pytest.raises(PNMLError):
+            net_from_pnml(
+                "<pnml><net id='n'><page id='p'>"
+                "<arc id='a' source='x'/></page></net></pnml>"
+            )
