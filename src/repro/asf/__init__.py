@@ -13,7 +13,7 @@ from .constants import (
     STREAM_TYPE_VIDEO,
 )
 from .drm import DRMError, DRMInfo, License, LicenseServer, scramble
-from .encoder import ASFEncoder, EncoderConfig, LiveEncoderSession
+from .encoder import ASFEncoder, EncodeCache, EncoderConfig, LiveEncoderSession
 from .header import FileProperties, HeaderObject, StreamProperties
 from .indexer import IndexEntry, SimpleIndex, add_script_commands
 from .packets import (
@@ -43,7 +43,8 @@ from .stream import ASFFile, ASFLiveStream
 
 __all__ = [
     "ASFEncoder", "ASFError", "ASFFile", "ASFLiveStream", "DEFAULT_PACKET_SIZE",
-    "DRMError", "DRMInfo", "DataPacket", "Depacketizer", "EncoderConfig",
+    "DRMError", "DRMInfo", "DataPacket", "Depacketizer", "EncodeCache",
+    "EncoderConfig",
     "FLAG_BROADCAST", "FLAG_DRM_PROTECTED", "FLAG_SEEKABLE", "FileProperties",
     "HeaderObject", "IndexEntry", "License", "LicenseServer",
     "LiveEncoderSession", "LossReport", "MediaUnit", "Packetizer", "Payload",

@@ -17,6 +17,7 @@ protection is applied when a license server is supplied.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -57,13 +58,85 @@ class EncoderConfig:
     metadata: Dict[str, str] = field(default_factory=dict)
 
 
+class EncodeCache:
+    """Memoizes :meth:`ASFEncoder.encode_file` outputs — encode once, serve many.
+
+    Keyed by the full encoding fingerprint: sources (frozen descriptors),
+    script commands, profile, packet size, preroll, payload mode, and
+    metadata. Repeated encodes of the same lecture/level (the Abstractor
+    replays every level; a catalog republish re-encodes every lecture)
+    return the already-built :class:`~repro.asf.stream.ASFFile` instead of
+    re-running the codec models and packetizer.
+
+    Entries are shared objects — callers must treat a cached file as
+    immutable published content (the serving stack already does). DRM
+    encodes bypass the cache entirely: license registration is a
+    side-effecting, per-publish step.
+    """
+
+    def __init__(self, max_entries: int = 32) -> None:
+        if max_entries <= 0:
+            raise ASFError("cache needs at least one entry")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, ASFFile]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple) -> Optional[ASFFile]:
+        cached = self._entries.get(key)
+        if cached is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return cached
+
+    def store(self, key: tuple, asf: ASFFile) -> ASFFile:
+        self._entries[key] = asf
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return asf
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
 class ASFEncoder:
     """Builds ASF content from media sources under a bandwidth profile."""
 
-    def __init__(self, config: EncoderConfig) -> None:
+    def __init__(
+        self, config: EncoderConfig, *, cache: Optional[EncodeCache] = None
+    ) -> None:
         self.config = config
+        self.cache = cache
         self._next_stream = itertools.count(1)
         self._image_codec = ImageCodec()
+
+    def _cache_key(
+        self,
+        file_id: str,
+        video: Optional[VideoObject],
+        audio: Optional[AudioObject],
+        images: Sequence[Tuple[ImageObject, float]],
+        commands: Sequence[ScriptCommand],
+    ) -> tuple:
+        """Everything that can change the encoded bytes, in one hashable key."""
+        return (
+            file_id,
+            video,
+            audio,
+            tuple(images),
+            tuple(commands),
+            self.config.profile,
+            self.config.packet_size,
+            self.config.preroll_ms,
+            self.config.with_data,
+            tuple(sorted(self.config.metadata.items())),
+        )
 
     # ------------------------------------------------------------------
 
@@ -189,6 +262,12 @@ class ASFEncoder:
         """Encode sources into a stored, indexed .asf file."""
         if video is None and audio is None and not images:
             raise ASFError("nothing to encode")
+        cache_key: Optional[tuple] = None
+        if self.cache is not None and license_server is None:
+            cache_key = self._cache_key(file_id, video, audio, images, sorted(commands))
+            cached = self.cache.lookup(cache_key)
+            if cached is not None:
+                return cached
         streams, unit_lists, duration = self._encode_sources(video, audio, images)
         flags = 0
         drm: Optional[DRMInfo] = None
@@ -223,6 +302,8 @@ class ASFEncoder:
         )
         asf = ASFFile(header=header, packets=packetizer.packetize(unit_lists))
         asf.ensure_index()
+        if cache_key is not None:
+            self.cache.store(cache_key, asf)
         return asf
 
     def encode_file_mbr(

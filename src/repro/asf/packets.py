@@ -89,12 +89,24 @@ class Payload:
 
 @dataclass
 class DataPacket:
-    """One fixed-size packet: sequence number, send time, payloads."""
+    """One fixed-size packet: sequence number, send time, payloads.
+
+    :meth:`pack` memoizes the wire image: payloads are frozen, so once the
+    header fields and payload list settle (after packetization / live
+    rebasing) the serialized form never changes — the server can ship the
+    same ``bytes`` object to any number of clients without re-packing.
+    """
 
     sequence: int
     send_time_ms: int
     payloads: List[Payload] = field(default_factory=list)
     packet_size: int = DEFAULT_PACKET_SIZE
+    _wire: Optional[bytes] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _wire_key: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def used(self) -> int:
         return PACKET_HEADER_SIZE + sum(p.wire_size() for p in self.payloads)
@@ -102,7 +114,20 @@ class DataPacket:
     def free(self) -> int:
         return self.packet_size - self.used()
 
+    def _state_key(self) -> tuple:
+        # payloads are frozen, so their ids pin their contents for as long
+        # as the list holds them; header fields are compared by value
+        return (
+            self.sequence,
+            self.send_time_ms,
+            self.packet_size,
+            tuple(map(id, self.payloads)),
+        )
+
     def pack(self) -> bytes:
+        key = self._state_key()
+        if self._wire is not None and self._wire_key == key:
+            return self._wire
         body = (
             pack_u32(self.sequence)
             + pack_u32(self.packet_size)
@@ -118,7 +143,10 @@ class DataPacket:
             raise ASFError(
                 f"packet overflow: {len(body) + 8} > {self.packet_size}"
             )
-        return write_object(TAG_PACKET, body + b"\x00" * padding)
+        wire = write_object(TAG_PACKET, body + b"\x00" * padding)
+        self._wire = wire
+        self._wire_key = key
+        return wire
 
     @classmethod
     def unpack_from(cls, reader: Reader) -> "DataPacket":
@@ -303,9 +331,22 @@ class Depacketizer:
         self.completed: List[MediaUnit] = []
         self._seen_objects: Dict[int, set] = {}
         self._completed_objects: Dict[int, set] = {}
+        self._seen_sequences: set = set()
+
+    def expect_replay(self) -> None:
+        """The source will intentionally re-send earlier packets (a seek):
+        forget sequence history so the replay is not dropped as duplicate."""
+        self._seen_sequences.clear()
 
     def push_packet(self, packet: DataPacket) -> List[MediaUnit]:
-        """Feed one packet; returns units completed by it (in order)."""
+        """Feed one packet; returns units completed by it (in order).
+
+        A packet whose sequence number was already delivered (a retransmit
+        or duplicated datagram) is dropped whole — re-pushing it must not
+        produce its units twice."""
+        if packet.sequence in self._seen_sequences:
+            return []
+        self._seen_sequences.add(packet.sequence)
         finished: List[MediaUnit] = []
         for payload in packet.payloads:
             key = (payload.stream_number, payload.object_number)

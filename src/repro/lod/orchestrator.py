@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..asf.drm import LicenseServer
-from ..asf.encoder import ASFEncoder, EncoderConfig
+from ..asf.encoder import ASFEncoder, EncodeCache, EncoderConfig
 from ..asf.script_commands import TYPE_SLIDE, ScriptCommand
 from ..asf.stream import ASFFile
 from ..contenttree.serialize import tree_to_json
@@ -60,9 +60,11 @@ class Orchestrator:
         packet_size: int = 1_450,
         preroll_ms: int = 3_000,
         with_data: bool = False,
+        encode_cache: Optional[EncodeCache] = None,
     ) -> None:
         self.profile = profile
         self.license_server = license_server
+        self.encode_cache = encode_cache
         self.config = EncoderConfig(
             profile=profile,
             packet_size=packet_size,
@@ -98,7 +100,7 @@ class Orchestrator:
             "author": lecture.author,
             "segments": str(len(lecture.segments)),
         }
-        encoder = ASFEncoder(self.config)
+        encoder = ASFEncoder(self.config, cache=self.encode_cache)
         asf = encoder.encode_file(
             file_id=file_id or lecture.title,
             video=lecture.video,

@@ -13,7 +13,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 
 class SimulationError(Exception):
@@ -31,11 +31,16 @@ class EventHandle:
 class Simulator:
     """A deterministic discrete-event scheduler."""
 
+    #: compaction threshold: rebuild the heap once cancelled entries both
+    #: outnumber half the queue and exceed this floor (tiny queues churn)
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self.now = 0.0
         self._queue: List[Tuple[float, int, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._cancelled: set = set()
+        self._pending_seqs: set = set()
         self.events_processed = 0
 
     def schedule(
@@ -51,6 +56,7 @@ class Simulator:
             raise SimulationError(f"negative delay {delay}")
         seq = next(self._seq)
         heapq.heappush(self._queue, (self.now + delay, priority, seq, callback))
+        self._pending_seqs.add(seq)
         return EventHandle(self.now + delay, seq)
 
     def schedule_at(
@@ -60,9 +66,60 @@ class Simulator:
             raise SimulationError(f"cannot schedule at {when} < now {self.now}")
         return self.schedule(when - self.now, callback, priority=priority)
 
+    def schedule_batch(
+        self,
+        events: Iterable[Tuple[float, Callable[[], None]]],
+        *,
+        priority: int = 0,
+    ) -> List[EventHandle]:
+        """Schedule many ``(delay, callback)`` pairs in one heap operation.
+
+        For large batches the heap is extended and re-heapified once —
+        O(n) instead of O(k·log n) sifts — which is what the packet pacer
+        uses when a live capture chunk lands as dozens of packets at once.
+        """
+        entries = []
+        handles = []
+        for delay, callback in events:
+            if delay < 0:
+                raise SimulationError(f"negative delay {delay}")
+            seq = next(self._seq)
+            entries.append((self.now + delay, priority, seq, callback))
+            handles.append(EventHandle(self.now + delay, seq))
+            self._pending_seqs.add(seq)
+        if not entries:
+            return handles
+        # heapify beats repeated pushes once the batch rivals log2(queue)
+        if len(entries) > 8 and len(entries) ** 2 > len(self._queue):
+            self._queue.extend(entries)
+            heapq.heapify(self._queue)
+        else:
+            for entry in entries:
+                heapq.heappush(self._queue, entry)
+        return handles
+
     def cancel(self, handle: EventHandle) -> None:
         """Cancel a pending event (no-op if it already ran)."""
+        if handle.seq not in self._pending_seqs:
+            return
+        self._pending_seqs.discard(handle.seq)
         self._cancelled.add(handle.seq)
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Purge cancelled entries when they dominate the heap.
+
+        Cancelled events otherwise linger until popped; a pacer that
+        cancels most of what it schedules would make every push/pop pay
+        for dead entries.
+        """
+        if (
+            len(self._cancelled) > self.COMPACT_MIN_CANCELLED
+            and len(self._cancelled) * 2 > len(self._queue)
+        ):
+            self._queue = [e for e in self._queue if e[2] not in self._cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled.clear()
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None."""
@@ -77,6 +134,7 @@ class Simulator:
             if seq in self._cancelled:
                 self._cancelled.discard(seq)
                 continue
+            self._pending_seqs.discard(seq)
             self.now = time
             callback()
             self.events_processed += 1
@@ -110,7 +168,8 @@ class Simulator:
                 raise SimulationError(f"more than {max_events} events (livelock?)")
 
     def pending(self) -> int:
-        return sum(1 for e in self._queue if e[2] not in self._cancelled)
+        """Live (scheduled, not yet run or cancelled) event count — O(1)."""
+        return len(self._pending_seqs)
 
 
 class PeriodicTask:

@@ -456,6 +456,7 @@ class MediaPlayer:
         if was_paused:
             self._control("resume", session_id=self.session_id)
         self._buffer.clear()
+        self._depacketizer.expect_replay()  # the server re-sends from here
         self._clock.seek(now, position)
         if not was_paused:
             self._clock.pause(now)

@@ -9,6 +9,18 @@ clients over the simulated network:
   every attached client receives packets as the encoder emits them
   ("broadcast their encoded content in real time", §2.5).
 
+The serving stack's structural invariant is **encode once, serve many**:
+
+* every on-demand point owns exactly one :class:`_PointSchedule` — the
+  packet walk (and any MBR-thinned packet variants) is computed once and
+  shared by every session; per-session pacing state shrinks to a cursor;
+* sessions that start at the same instant with the same parameters ride
+  one :class:`_PacingGroup` — one simulator event per packet train paces
+  all of them, instead of one private event chain per client;
+* broadcast delivery is event-driven: the live stream pushes freshly
+  encoded packets to the server, which schedules their fan-out at their
+  send times — there is no polling pump.
+
 Control is exposed both as a Python API (used by
 :class:`repro.streaming.client.MediaPlayer`) and as HTTP routes on the
 server's port (used by the publishing manager) — describe / play / pause /
@@ -18,12 +30,13 @@ resume / seek / close. QoS admission per client link uses
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..asf.packets import DataPacket
 from ..asf.stream import ASFFile, ASFLiveStream
-from ..net.engine import PeriodicTask, Simulator
+from ..net.engine import Simulator
 from ..net.qos import QoSError, QoSManager, QoSSpec
 from ..net.transport import DatagramChannel, Message
 from ..web.http import HTTPRequest, HTTPResponse, HTTPServer, VirtualNetwork
@@ -32,6 +45,100 @@ from .session import SessionError, SessionState, SessionTable, StreamSession
 
 class PublishError(Exception):
     """Publishing-point misuse."""
+
+
+class _PointSchedule:
+    """The shared packet walk of one on-demand publishing point.
+
+    Holds the stored file's packet sequence plus a memo of MBR-thinned
+    packet variants keyed by ``(packet index, excluded streams)`` — a
+    thinned packet is built once and then shipped to every session with
+    the same rendition selection (zero-copy fan-out).
+    """
+
+    def __init__(self, asf: ASFFile) -> None:
+        self.asf = asf
+        self.packets = asf.packets
+        self._thinned: Dict[
+            Tuple[int, frozenset], Optional[Tuple[DataPacket, int]]
+        ] = {}
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def entry(
+        self, index: int, excluded: frozenset
+    ) -> Optional[Tuple[DataPacket, int]]:
+        """``(packet, wire size)`` to ship at ``index``, or None if the
+        whole packet belongs to withheld renditions."""
+        packet = self.packets[index]
+        if not excluded:
+            return packet, packet.packet_size
+        key = (index, excluded)
+        try:
+            return self._thinned[key]
+        except KeyError:
+            pass
+        kept = [
+            p for p in packet.payloads if p.stream_number not in excluded
+        ]
+        if not kept:
+            result: Optional[Tuple[DataPacket, int]] = None
+        else:
+            thin = DataPacket(
+                packet.sequence, packet.send_time_ms, kept, packet.packet_size
+            )
+            result = (thin, thin.used())  # thinned: padding stripped
+        self._thinned[key] = result
+        return result
+
+
+class _PacingGroup:
+    """Sessions walking one point's schedule in lock-step.
+
+    Members joined at the same simulated instant, cursor and burst
+    parameters, so a single event per packet train paces every one of
+    them. A session that pauses/seeks/closes leaves the group, taking a
+    snapshot of the shared cursor as its private ``packet_cursor``.
+    """
+
+    __slots__ = (
+        "point", "key", "cursor", "origin", "base_ms",
+        "burst_factor", "burst_window_ms", "members", "handle",
+    )
+
+    def __init__(
+        self,
+        point: str,
+        key: tuple,
+        cursor: int,
+        origin: float,
+        base_ms: int,
+        burst_factor: float,
+        burst_window_ms: float,
+    ) -> None:
+        self.point = point
+        self.key = key
+        self.cursor = cursor
+        self.origin = origin
+        self.base_ms = base_ms
+        self.burst_factor = burst_factor
+        self.burst_window_ms = burst_window_ms
+        self.members: Dict[int, StreamSession] = {}
+        self.handle: Optional[object] = None
+
+    def effective_offset_ms(self, send_time_ms: int) -> float:
+        """Send offset after fast-start burst compression."""
+        offset = float(send_time_ms - self.base_ms)
+        if self.burst_factor > 1.0:
+            if offset <= self.burst_window_ms:
+                offset = offset / self.burst_factor
+            else:
+                offset = (
+                    self.burst_window_ms / self.burst_factor
+                    + (offset - self.burst_window_ms)
+                )
+        return offset
 
 
 @dataclass
@@ -52,10 +159,16 @@ class PublishingPoint:
 
 
 class MediaServer:
-    """Streams publishing points to clients over the virtual network."""
+    """Streams publishing points to clients over the virtual network.
 
-    #: how often broadcast points poll the live encoder feed
-    BROADCAST_TICK = 0.05
+    ``pacing_quantum`` (seconds) groups consecutive packets of a shared
+    schedule whose send times fall within one window into a single packet
+    train — one pacing event and one wire message per session per train.
+    ``0.0`` (the default) paces packet-by-packet, exactly like a private
+    walk. ``shared_pacing=False`` disables the shared-schedule fast path
+    entirely and gives every session its own event chain — the seed
+    behaviour, kept as the baseline for the serving-scale benchmark.
+    """
 
     def __init__(
         self,
@@ -64,7 +177,11 @@ class MediaServer:
         *,
         port: int = 8080,
         qos_enabled: bool = False,
+        pacing_quantum: float = 0.0,
+        shared_pacing: bool = True,
     ) -> None:
+        if pacing_quantum < 0:
+            raise PublishError("pacing_quantum must be >= 0")
         self.network = network
         self.simulator: Simulator = network.simulator
         self.host = network.add_host(host)
@@ -72,8 +189,13 @@ class MediaServer:
         self.points: Dict[str, PublishingPoint] = {}
         self.sessions = SessionTable()
         self.qos_enabled = qos_enabled
+        self.pacing_quantum = pacing_quantum
+        self.shared_pacing = shared_pacing
         self._qos: Dict[str, QoSManager] = {}
-        self._broadcast_pumps: Dict[str, PeriodicTask] = {}
+        self._schedules: Dict[str, _PointSchedule] = {}
+        self._groups: Dict[tuple, _PacingGroup] = {}
+        self._channels: Dict[int, DatagramChannel] = {}
+        self._broadcast_feeds: Dict[str, Callable] = {}
         self.http = HTTPServer(network, host, port)
         self._register_routes()
 
@@ -93,18 +215,27 @@ class MediaServer:
         point = PublishingPoint(name, content, description)
         self.points[name] = point
         if point.broadcast:
-            self._broadcast_pumps[name] = PeriodicTask(
-                self.simulator, self.BROADCAST_TICK, lambda n=name: self._pump_broadcast(n)
-            )
+            # event-driven fan-out: the encoder's append wakes the server,
+            # which schedules delivery at each packet's send time — no
+            # polling pump, no events while the feed is idle
+            feed = functools.partial(self._on_live_packets, name, content)
+            content.subscribe(feed)
+            self._broadcast_feeds[name] = feed
+            backlog = content.packets
+            if backlog:
+                self._on_live_packets(name, content, backlog)
+        else:
+            self._schedules[name] = _PointSchedule(content)
         return point
 
     def unpublish(self, name: str) -> None:
         point = self._point(name)
         for session in self.sessions.sessions_for_point(name):
             self.close_session(session.session_id)
-        pump = self._broadcast_pumps.pop(name, None)
-        if pump is not None:
-            pump.stop()
+        feed = self._broadcast_feeds.pop(name, None)
+        if feed is not None:
+            point.content.unsubscribe(feed)
+        self._schedules.pop(name, None)
         del self.points[name]
 
     def _point(self, name: str) -> PublishingPoint:
@@ -212,7 +343,8 @@ class MediaServer:
         elif session.state in (SessionState.PAUSED, SessionState.FINISHED):
             session.transition(SessionState.STREAMING)
         if point.broadcast:
-            return  # broadcast clients just receive the pump's packets
+            return  # broadcast clients receive the live fan-out's packets
+        self._stop_session_pacing(session)
         session.position = start
         session.packet_cursor = self._cursor_for(point.content, start)
         window = burst_seconds
@@ -224,10 +356,12 @@ class MediaServer:
 
     def pause(self, session_id: int) -> None:
         session = self.sessions.get(session_id)
+        if session.state is SessionState.FINISHED:
+            # delivery already completed; the client may still be rendering
+            # its buffer, so a pause here is trivially satisfied
+            return
         session.transition(SessionState.PAUSED)
-        if session.pacing_handle is not None:
-            self.simulator.cancel(session.pacing_handle)
-            session.pacing_handle = None
+        self._stop_session_pacing(session)
 
     def resume(self, session_id: int) -> None:
         session = self.sessions.get(session_id)
@@ -241,9 +375,7 @@ class MediaServer:
             raise SessionError("cannot seek a broadcast session")
         point = self._point(session.point)
         was_streaming = session.state is SessionState.STREAMING
-        if session.pacing_handle is not None:
-            self.simulator.cancel(session.pacing_handle)
-            session.pacing_handle = None
+        self._stop_session_pacing(session)
         if session.state is SessionState.FINISHED:
             session.transition(SessionState.STREAMING)
             was_streaming = True
@@ -254,8 +386,8 @@ class MediaServer:
 
     def close_session(self, session_id: int) -> None:
         session = self.sessions.get(session_id)
-        if session.pacing_handle is not None:
-            self.simulator.cancel(session.pacing_handle)
+        self._stop_session_pacing(session)
+        self._channels.pop(session_id, None)
         if session.reservation is not None:
             self._qos[session.client_host].release(session.reservation)
             session.reservation = None
@@ -273,8 +405,20 @@ class MediaServer:
                 return i
         return len(asf.packets)
 
+    def _stop_session_pacing(self, session: StreamSession) -> None:
+        """Detach a session from whatever is pacing it (group or private)."""
+        if session.pacing_handle is not None:
+            self.simulator.cancel(session.pacing_handle)
+            session.pacing_handle = None
+        self._leave_group(session)
+
     def _start_pacing(self, session: StreamSession) -> None:
         """Anchor pacing at 'now'; packets go out at their relative send times."""
+        if self.shared_pacing:
+            self._join_group(session)
+            return
+        # legacy per-session packet walk (bench baseline): every session
+        # runs its own event chain over the point's packets
         point = self._point(session.point)
         asf: ASFFile = point.content
         session._pace_origin = self.simulator.now  # type: ignore[attr-defined]
@@ -317,19 +461,172 @@ class MediaServer:
             max(at, self.simulator.now), send
         )
 
-    def _pump_broadcast(self, name: str) -> None:
-        point = self.points.get(name)
-        if point is None or not point.broadcast:
+    # ------------------------------------------------------------------
+    # shared-schedule pacing (encode once, serve many)
+    # ------------------------------------------------------------------
+
+    def _join_group(self, session: StreamSession) -> None:
+        """Attach a session to the pacing group walking its point from the
+        same cursor at this instant — creating the group if none exists."""
+        sched = self._schedules[session.point]
+        burst = getattr(session, "_burst_factor", 1.0)
+        window = getattr(session, "_burst_window_ms", 0.0)
+        now = self.simulator.now
+        key = (session.point, session.packet_cursor, now, burst, window)
+        group = self._groups.get(key)
+        if group is None:
+            if session.packet_cursor < len(sched.packets):
+                base_ms = sched.packets[session.packet_cursor].send_time_ms
+            else:
+                base_ms = 0
+            group = _PacingGroup(
+                session.point, key, session.packet_cursor, now,
+                base_ms, burst, window,
+            )
+            self._groups[key] = group
+        group.members[session.session_id] = session
+        session.pacing_group = group
+        if group.handle is None:
+            self._schedule_group(group)
+
+    def _leave_group(self, session: StreamSession) -> None:
+        group = session.pacing_group
+        if group is None:
             return
-        stream: ASFLiveStream = point.content
-        due = stream.packets_due(self.simulator.now)
-        if not due:
+        session.packet_cursor = group.cursor
+        session.pacing_group = None
+        group.members.pop(session.session_id, None)
+        if not group.members:
+            if group.handle is not None:
+                self.simulator.cancel(group.handle)
+                group.handle = None
+            self._groups.pop(group.key, None)
+
+    def _schedule_group(self, group: _PacingGroup) -> None:
+        sched = self._schedules.get(group.point)
+        if sched is None or group.cursor >= len(sched.packets):
+            self._finish_group(group)
             return
-        for session in self.sessions.sessions_for_point(name):
+        packet = sched.packets[group.cursor]
+        offset = group.effective_offset_ms(packet.send_time_ms) / 1000.0
+        at = group.origin + max(0.0, offset)
+        group.handle = self.simulator.schedule_at(
+            max(at, self.simulator.now),
+            functools.partial(self._fire_group, group),
+        )
+
+    def _fire_group(self, group: _PacingGroup) -> None:
+        group.handle = None
+        # once the walk advances, the group is no longer joinable: a later
+        # play() at the original cursor must start its own schedule
+        self._groups.pop(group.key, None)
+        sched = self._schedules.get(group.point)
+        if sched is None:
+            return  # point unpublished with a fan-out still in flight
+        packets = sched.packets
+        start_eff = group.effective_offset_ms(
+            packets[group.cursor].send_time_ms
+        )
+        quantum_ms = self.pacing_quantum * 1000.0
+        train = [group.cursor]
+        group.cursor += 1
+        while group.cursor < len(packets):
+            eff = group.effective_offset_ms(packets[group.cursor].send_time_ms)
+            if eff - start_eff > quantum_ms:
+                break
+            train.append(group.cursor)
+            group.cursor += 1
+        for session in list(group.members.values()):
             if session.state is not SessionState.STREAMING:
                 continue
-            for packet in due:
+            batch: List[DataPacket] = []
+            wire = 0
+            for index in train:
+                entry = sched.entry(index, session.excluded_streams)
+                if entry is None:
+                    continue
+                batch.append(entry[0])
+                wire += entry[1]
+            if batch:
+                self._send_train(session, batch, wire)
+        for session in group.members.values():
+            session.packet_cursor = group.cursor
+        if group.cursor >= len(packets):
+            self._finish_group(group)
+        else:
+            self._schedule_group(group)
+
+    def _finish_group(self, group: _PacingGroup) -> None:
+        self._groups.pop(group.key, None)
+        if group.handle is not None:
+            self.simulator.cancel(group.handle)
+            group.handle = None
+        for session in list(group.members.values()):
+            session.packet_cursor = group.cursor
+            session.pacing_group = None
+            if session.state is SessionState.STREAMING:
+                session.transition(SessionState.FINISHED)
+        group.members.clear()
+
+    # ------------------------------------------------------------------
+    # broadcast fan-out (event-driven)
+    # ------------------------------------------------------------------
+
+    def _on_live_packets(
+        self, name: str, stream: ASFLiveStream, packets: Sequence[DataPacket]
+    ) -> None:
+        """Fresh packets from the live encoder: schedule each fan-out at
+        its send time (immediately for overdue packets) in one batch."""
+        now = self.simulator.now
+        self.simulator.schedule_batch(
+            (
+                max(0.0, packet.send_time_ms / 1000.0 - now),
+                functools.partial(self._fan_out_live, name, stream, packet),
+            )
+            for packet in packets
+        )
+
+    def _fan_out_live(
+        self, name: str, stream: ASFLiveStream, packet: DataPacket
+    ) -> None:
+        point = self.points.get(name)
+        if point is None or point.content is not stream:
+            return  # unpublished (or republished) while the event was in flight
+        for session in self.sessions.sessions_for_point(name):
+            if session.state is SessionState.STREAMING:
                 self._transmit(session, packet)
+
+    # ------------------------------------------------------------------
+    # the wire
+    # ------------------------------------------------------------------
+
+    def _channel_for(self, session: StreamSession) -> DatagramChannel:
+        channel = self._channels.get(session.session_id)
+        if channel is None:
+            link = self.network.link(self.host, session.client_host)
+            channel = DatagramChannel(
+                link, functools.partial(self._deliver_message, session)
+            )
+            self._channels[session.session_id] = channel
+        return channel
+
+    @staticmethod
+    def _deliver_message(session: StreamSession, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, list):  # a packet train: deliver in order
+            for packet in payload:
+                session.deliver(packet)
+        else:
+            session.deliver(payload)
+
+    def _send_train(
+        self, session: StreamSession, packets: List[DataPacket], wire_size: int
+    ) -> None:
+        """Ship a train as one wire message (one serialization, one arrival)."""
+        payload = packets[0] if len(packets) == 1 else packets
+        self._channel_for(session).send(Message(payload, wire_size))
+        session.packets_sent += len(packets)
+        session.bytes_sent += wire_size
 
     def _transmit(self, session: StreamSession, packet: DataPacket) -> None:
         if session.excluded_streams:
@@ -345,11 +642,7 @@ class MediaServer:
             wire_size = packet.used()  # thinned: padding stripped
         else:
             wire_size = packet.packet_size
-        link = self.network.link(self.host, session.client_host)
-        channel = DatagramChannel(link, lambda m: session.deliver(m.payload))
-        channel.send(Message(packet, wire_size))
-        session.packets_sent += 1
-        session.bytes_sent += wire_size
+        self._send_train(session, [packet], wire_size)
 
     # ------------------------------------------------------------------
     # HTTP control plane

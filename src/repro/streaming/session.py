@@ -59,10 +59,16 @@ class StreamSession:
     packets_sent: int = 0
     bytes_sent: int = 0
     pacing_handle: Optional[object] = None
+    #: shared-schedule pacing group this session currently rides (server-owned)
+    pacing_group: Optional[object] = None
     #: stream numbers withheld from this client (MBR renditions not chosen)
     excluded_streams: frozenset = frozenset()
     #: the MBR video stream chosen for this client (None = single-rate)
     selected_video: Optional[int] = None
+    #: registry hook: notified after every state change (set by SessionTable)
+    _observer: Optional[Callable[["StreamSession"], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def transition(self, new_state: SessionState) -> None:
         if new_state not in _TRANSITIONS[self.state]:
@@ -71,6 +77,8 @@ class StreamSession:
                 f"-> {new_state.value}"
             )
         self.state = new_state
+        if self._observer is not None:
+            self._observer(self)
 
     @property
     def active(self) -> bool:
@@ -82,6 +90,12 @@ class SessionTable:
 
     def __init__(self) -> None:
         self._sessions: Dict[int, StreamSession] = {}
+        #: point name -> {session_id: session}; closed sessions are removed,
+        #: so per-point lookups never scan the whole table
+        self._by_point: Dict[str, Dict[int, StreamSession]] = {}
+        #: sessions currently STREAMING or PAUSED, kept current by the
+        #: transition observer — active_sessions() never scans the table
+        self._active: Dict[int, StreamSession] = {}
         self._ids = itertools.count(1)
         self.total_created = 0
 
@@ -101,8 +115,16 @@ class SessionTable:
             deliver=deliver,
         )
         self._sessions[session.session_id] = session
+        self._by_point.setdefault(point, {})[session.session_id] = session
+        session._observer = self._track_state
         self.total_created += 1
         return session
+
+    def _track_state(self, session: StreamSession) -> None:
+        if session.active:
+            self._active[session.session_id] = session
+        else:
+            self._active.pop(session.session_id, None)
 
     def get(self, session_id: int) -> StreamSession:
         try:
@@ -115,13 +137,20 @@ class SessionTable:
         if session.state is not SessionState.CLOSED:
             session.transition(SessionState.CLOSED)
         del self._sessions[session_id]
+        bucket = self._by_point.get(session.point)
+        if bucket is not None:
+            bucket.pop(session_id, None)
+            if not bucket:
+                del self._by_point[session.point]
         return session
 
     def active_sessions(self) -> List[StreamSession]:
-        return [s for s in self._sessions.values() if s.active]
+        """STREAMING/PAUSED sessions — indexed, not a table scan."""
+        return list(self._active.values())
 
     def sessions_for_point(self, point: str) -> List[StreamSession]:
-        return [s for s in self._sessions.values() if s.point == point]
+        """Sessions attached to ``point`` — indexed, not a table scan."""
+        return list(self._by_point.get(point, {}).values())
 
     def __len__(self) -> int:
         return len(self._sessions)

@@ -3,7 +3,7 @@ replication, broadcast unpublish, default links, executor stepping."""
 
 import pytest
 
-from repro.asf import ASFEncoder, EncoderConfig
+from repro.asf import ASFEncoder, EncoderConfig, MediaUnit
 from repro.asf.header import StreamProperties
 from repro.core.extended import DistributedCoordinator, SiteLink
 from repro.core.ocpn import MediaLeaf, compile_spec, sequence
@@ -63,7 +63,7 @@ class TestServerApiCorners:
         header = server.describe("x")
         assert header.file_properties.duration_ms == 10_000
 
-    def test_unpublish_broadcast_stops_pump(self):
+    def test_unpublish_broadcast_detaches_feed(self):
         net, server = self.make_server()
         encoder = ASFEncoder(EncoderConfig(profile=get_profile("isdn-dual")))
         live = encoder.start_live(
@@ -71,12 +71,15 @@ class TestServerApiCorners:
             streams=[StreamProperties(1, "video", bitrate=100_000)],
         )
         server.publish("livepoint", live.stream)
-        pump = server._broadcast_pumps["livepoint"]
+        assert live.stream.subscriber_count == 1  # server's fan-out feed
         server.unpublish("livepoint")
-        assert "livepoint" not in server._broadcast_pumps
-        ticks_before = pump.ticks
-        net.simulator.run_until(net.simulator.now + 1.0)
-        assert pump.ticks == ticks_before  # stopped
+        assert live.stream.subscriber_count == 0
+        # new encoder output schedules nothing on the unsubscribed server
+        pending_before = net.simulator.pending()
+        live.capture(
+            [MediaUnit(1, 0, 0, True, b"x" * 200)]
+        )
+        assert net.simulator.pending() == pending_before
 
     def test_control_unknown_action_404(self):
         net, server = self.make_server()

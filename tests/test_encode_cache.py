@@ -1,0 +1,197 @@
+"""EncodeCache and packed-bytes memoization — the encode-once layer.
+
+A re-encode of identical sources must be a cache hit returning the same
+:class:`ASFFile`; any knob that changes the output bytes must miss; and
+:meth:`DataPacket.pack` must hand back the identical ``bytes`` object
+until the packet is mutated.
+"""
+
+import pytest
+
+from repro.asf import (
+    ASFEncoder,
+    DataPacket,
+    EncodeCache,
+    EncoderConfig,
+    Payload,
+)
+from repro.asf.drm import LicenseServer
+from repro.media import get_profile
+from repro.media.objects import AudioObject, ImageObject, VideoObject
+
+
+def sources():
+    video = VideoObject("talk", 12.0, width=320, height=240, fps=15.0)
+    audio = AudioObject("voice", 12.0, sample_rate=22_050, channels=1)
+    images = [
+        (ImageObject("s0", 6.0, width=640, height=480, seed="s0"), 0.0),
+        (ImageObject("s1", 6.0, width=640, height=480, seed="s1"), 6.0),
+    ]
+    return video, audio, images
+
+
+def make_encoder(cache, **config_kwargs):
+    config = EncoderConfig(profile=get_profile("isdn-dual"), **config_kwargs)
+    return ASFEncoder(config, cache=cache)
+
+
+class TestEncodeCache:
+    def test_identical_encode_hits(self):
+        cache = EncodeCache()
+        video, audio, images = sources()
+        first = make_encoder(cache).encode_file(
+            file_id="L1", video=video, audio=audio, images=images
+        )
+        again = make_encoder(cache).encode_file(
+            file_id="L1", video=video, audio=audio, images=images
+        )
+        assert again is first
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_different_file_id_misses(self):
+        cache = EncodeCache()
+        video, audio, images = sources()
+        a = make_encoder(cache).encode_file(file_id="A", video=video)
+        b = make_encoder(cache).encode_file(file_id="B", video=video)
+        assert a is not b
+        assert cache.hits == 0
+        assert len(cache) == 2
+
+    def test_profile_changes_miss(self):
+        cache = EncodeCache()
+        video, _, _ = sources()
+        isdn = ASFEncoder(
+            EncoderConfig(profile=get_profile("isdn-dual")), cache=cache
+        ).encode_file(file_id="L", video=video)
+        lan = ASFEncoder(
+            EncoderConfig(profile=get_profile("lan-1m")), cache=cache
+        ).encode_file(file_id="L", video=video)
+        assert lan is not isdn
+        assert cache.hits == 0
+
+    def test_packet_size_changes_miss(self):
+        cache = EncodeCache()
+        video, _, _ = sources()
+        small = make_encoder(cache, packet_size=800).encode_file(
+            file_id="L", video=video
+        )
+        large = make_encoder(cache, packet_size=2_000).encode_file(
+            file_id="L", video=video
+        )
+        assert small is not large
+        assert small.header.file_properties.packet_size == 800
+        assert large.header.file_properties.packet_size == 2_000
+
+    def test_metadata_changes_miss(self):
+        cache = EncodeCache()
+        video, _, _ = sources()
+        first = make_encoder(cache, metadata={"title": "x"}).encode_file(
+            file_id="L", video=video
+        )
+        second = make_encoder(cache, metadata={"title": "y"}).encode_file(
+            file_id="L", video=video
+        )
+        assert first is not second
+
+    def test_drm_bypasses_cache(self):
+        cache = EncodeCache()
+        video, _, _ = sources()
+        licenses = LicenseServer()
+        encoder = make_encoder(cache)
+        protected = encoder.encode_file(
+            file_id="L", video=video, license_server=licenses
+        )
+        again = encoder.encode_file(
+            file_id="L", video=video, license_server=licenses
+        )
+        assert protected is not again  # every publish re-registers a license
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_lru_eviction(self):
+        cache = EncodeCache(max_entries=2)
+        video, _, _ = sources()
+        for name in ("A", "B", "C"):
+            make_encoder(cache).encode_file(file_id=name, video=video)
+        assert len(cache) == 2
+        # A was evicted: encoding it again is a miss
+        make_encoder(cache).encode_file(file_id="A", video=video)
+        assert cache.hits == 0
+        # C is still warm
+        make_encoder(cache).encode_file(file_id="C", video=video)
+        assert cache.hits == 1
+
+    def test_clear(self):
+        cache = EncodeCache()
+        video, _, _ = sources()
+        make_encoder(cache).encode_file(file_id="L", video=video)
+        cache.clear()
+        assert len(cache) == 0
+        make_encoder(cache).encode_file(file_id="L", video=video)
+        assert cache.misses == 2
+
+    def test_invalid_capacity_rejected(self):
+        from repro.asf import ASFError
+
+        with pytest.raises(ASFError):
+            EncodeCache(max_entries=0)
+
+    def test_uncached_encoder_unaffected(self):
+        video, _, _ = sources()
+        a = make_encoder(None).encode_file(file_id="L", video=video)
+        b = make_encoder(None).encode_file(file_id="L", video=video)
+        assert a is not b  # no cache: every call builds a fresh file
+
+
+class TestPackMemo:
+    def packet(self):
+        payload = Payload(1, 0, 0, 6, 0, True, b"abcdef")
+        return DataPacket(0, 0, [payload], packet_size=200)
+
+    def test_pack_returns_same_object(self):
+        packet = self.packet()
+        first = packet.pack()
+        second = packet.pack()
+        assert second is first
+
+    def test_memo_matches_fresh_pack(self):
+        packet = self.packet()
+        memoized = packet.pack()
+        fresh = self.packet().pack()
+        assert memoized == fresh
+
+    def test_mutating_header_fields_invalidates(self):
+        packet = self.packet()
+        before = packet.pack()
+        packet.sequence = 7
+        packet.send_time_ms = 1_234
+        after = packet.pack()
+        assert after is not before
+        assert after != before
+        reference = DataPacket(
+            7, 1_234, list(packet.payloads), packet_size=200
+        ).pack()
+        assert after == reference
+
+    def test_appending_payload_invalidates(self):
+        packet = self.packet()
+        before = packet.pack()
+        packet.payloads.append(Payload(2, 0, 0, 2, 5, False, b"zz"))
+        after = packet.pack()
+        assert after != before
+        reference = DataPacket(
+            0, 0, list(packet.payloads), packet_size=200
+        ).pack()
+        assert after == reference
+
+    def test_asffile_packed_packets_shared_view(self):
+        cache = EncodeCache()
+        video, audio, images = sources()
+        asf = make_encoder(cache).encode_file(
+            file_id="L", video=video, audio=audio, images=images
+        )
+        view = asf.packed_packets()
+        assert view is asf.packed_packets()  # memoized list
+        assert view == [p.pack() for p in asf.packets]
+        assert all(v is p.pack() for v, p in zip(view, asf.packets))

@@ -86,6 +86,118 @@ class TestSimulator:
         sim.cancel(h)
         assert sim.peek_time() == 2.0
 
+    def test_pending_counts_live_events_only(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending() == 5
+        sim.cancel(handles[0])
+        assert sim.pending() == 4
+        sim.run_until(2.5)  # runs events at t=2 (t=1 was cancelled)
+        assert sim.pending() == 3
+
+    def test_cancel_after_run_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.cancel(handle)  # must not mark the dead seq cancelled forever
+        assert sim.pending() == 0
+        assert not sim._cancelled
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.cancel(handle)
+        sim.cancel(handle)
+        assert sim.pending() == 0
+        assert len(sim._cancelled) == 1
+
+
+class TestScheduleBatch:
+    def test_batch_runs_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.5, lambda: log.append("solo"))
+        sim.schedule_batch(
+            (float(d), lambda d=d: log.append(d)) for d in (3, 1, 2)
+        )
+        sim.run()
+        assert log == [1, 2, "solo", 3]
+
+    def test_large_batch_heapify_path(self):
+        # > 8 entries against an empty queue takes the heapify branch
+        sim = Simulator()
+        log = []
+        sim.schedule_batch(
+            (float(100 - i), lambda i=i: log.append(i)) for i in range(50)
+        )
+        sim.run()
+        assert log == list(reversed(range(50)))
+
+    def test_batch_handles_cancel(self):
+        sim = Simulator()
+        log = []
+        handles = sim.schedule_batch(
+            (float(i + 1), lambda i=i: log.append(i)) for i in range(20)
+        )
+        for handle in handles[::2]:
+            sim.cancel(handle)
+        sim.run()
+        assert log == list(range(1, 20, 2))
+
+    def test_empty_batch(self):
+        sim = Simulator()
+        assert sim.schedule_batch([]) == []
+        assert sim.pending() == 0
+
+    def test_batch_rejects_negative_delay(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_batch([(1.0, lambda: None), (-0.5, lambda: None)])
+
+    def test_batch_ties_follow_insertion_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_batch((1.0, lambda i=i: log.append(i)) for i in range(12))
+        sim.run()
+        assert log == list(range(12))
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_purges_heap(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+        for handle in handles[:150]:
+            sim.cancel(handle)
+        # crossing the threshold rebuilt the heap at least once: the dead
+        # entries do not all linger until popped
+        assert len(sim._queue) < 200
+        assert sim.pending() == 50
+        sim.run()
+        assert sim.events_processed == 50
+
+    def test_small_cancellation_skips_compaction(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(20)]
+        for handle in handles[:15]:
+            sim.cancel(handle)
+        # beneath the floor: dead entries stay until popped
+        assert len(sim._queue) == 20
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_compaction_preserves_order(self):
+        sim = Simulator()
+        log = []
+        keep = []
+        for i in range(300):
+            handle = sim.schedule(float(i), lambda i=i: log.append(i))
+            if i % 3 != 0:
+                keep.append(i)
+            else:
+                sim.cancel(handle)
+        sim.run()
+        assert log == keep
+
 
 class TestPeriodicTask:
     def test_ticks_at_interval(self):

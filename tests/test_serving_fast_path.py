@@ -1,0 +1,262 @@
+"""The encode-once/serve-many serving path.
+
+Covers the shared-schedule pacing groups (sessions started together ride
+one event chain), their pause/seek/close detachment semantics, the
+event-driven broadcast fan-out (an idle live point schedules nothing),
+and — the load-bearing property — that the fast path delivers packets
+byte-identical to the legacy per-session walk.
+"""
+
+import pytest
+
+from repro.asf import ASFEncoder, EncoderConfig, slide_commands
+from repro.asf.header import StreamProperties
+from repro.media import AudioObject, ImageObject, VideoObject, get_profile
+from repro.streaming import MediaServer, PublishError, SessionState
+from repro.web import VirtualNetwork
+
+PROFILE = get_profile("dsl-256k")
+
+
+def make_asf(duration=20.0, slides=2):
+    encoder = ASFEncoder(EncoderConfig(profile=PROFILE))
+    per_slide = duration / slides
+    return encoder.encode_file(
+        file_id="lec",
+        video=VideoObject("talk", duration, width=320, height=240, fps=10),
+        audio=AudioObject("voice", duration),
+        images=[
+            (ImageObject(f"s{i}", per_slide, width=320, height=240),
+             i * per_slide)
+            for i in range(slides)
+        ],
+        commands=slide_commands(
+            [(f"s{i}", i * per_slide) for i in range(slides)]
+        ),
+    )
+
+
+def make_server(asf, clients, **server_kwargs):
+    net = VirtualNetwork()
+    for name in clients:
+        net.connect("server", name, bandwidth=2_000_000, delay=0.02)
+    server = MediaServer(net, "server", port=8080, **server_kwargs)
+    server.publish("lecture", asf)
+    return net, server
+
+
+def open_and_play(server, client, sink):
+    session = server.open_session("lecture", client, sink.append)
+    server.play(session.session_id)
+    return session
+
+
+class TestPacingGroups:
+    def test_same_instant_sessions_share_a_group(self):
+        asf = make_asf()
+        net, server = make_server(asf, ["c1", "c2"])
+        a = open_and_play(server, "c1", [])
+        b = open_and_play(server, "c2", [])
+        assert a.pacing_group is not None
+        assert a.pacing_group is b.pacing_group
+        assert set(a.pacing_group.members) == {a.session_id, b.session_id}
+
+    def test_staggered_sessions_get_separate_groups(self):
+        asf = make_asf()
+        net, server = make_server(asf, ["c1", "c2"])
+        a = open_and_play(server, "c1", [])
+        net.simulator.run_until(1.0)
+        b = open_and_play(server, "c2", [])
+        assert a.pacing_group is not b.pacing_group
+
+    def test_group_event_count_is_shared(self):
+        """N same-instant viewers add ~zero pacing events over one viewer."""
+        asf = make_asf()
+
+        def events_for(count):
+            net, server = make_server(
+                asf, [f"c{i}" for i in range(count)], pacing_quantum=0.25
+            )
+            sinks = [[] for _ in range(count)]
+            for i in range(count):
+                open_and_play(server, f"c{i}", sinks[i])
+            net.simulator.run()
+            assert all(len(s) == len(sinks[0]) for s in sinks)
+            return net.simulator.events_processed
+
+        def legacy_events_for(count):
+            net, server = make_server(
+                asf, [f"c{i}" for i in range(count)], shared_pacing=False
+            )
+            for i in range(count):
+                open_and_play(server, f"c{i}", [])
+            net.simulator.run()
+            return net.simulator.events_processed
+
+        one, eight = events_for(1), events_for(8)
+        # link events scale with viewers; pacing events must not — so the
+        # shared walk stays far below the legacy per-session event chains
+        assert eight < legacy_events_for(8) * 0.5
+        assert eight < one * 8
+
+    def test_pause_detaches_without_stopping_others(self):
+        asf = make_asf()
+        net, server = make_server(asf, ["c1", "c2"])
+        got_a, got_b = [], []
+        a = open_and_play(server, "c1", got_a)
+        b = open_and_play(server, "c2", got_b)
+        net.simulator.run_until(2.0)
+        server.pause(a.session_id)
+        assert a.pacing_group is None
+        assert b.pacing_group is not None
+        paused_count = len(got_a)
+        net.simulator.run_until(6.0)
+        assert len(got_a) == paused_count  # a frozen
+        assert len(got_b) > paused_count  # b kept going
+
+    def test_resume_rejoins_from_paused_cursor(self):
+        asf = make_asf()
+        net, server = make_server(asf, ["c1"])
+        got = []
+        session = open_and_play(server, "c1", got)
+        net.simulator.run_until(2.0)
+        server.pause(session.session_id)
+        cursor = session.packet_cursor
+        assert cursor > 0
+        net.simulator.run_until(5.0)
+        server.resume(session.session_id)
+        net.simulator.run()
+        assert session.state is SessionState.FINISHED
+        sequences = [p.sequence for p in got]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(asf.packets)  # nothing skipped
+
+    def test_pause_after_delivery_finished_is_satisfied(self):
+        """The client can still be rendering its buffer when the server's
+        packet walk completes; a user pause then must not be an error."""
+        asf = make_asf()
+        net, server = make_server(asf, ["c1"])
+        got = []
+        session = open_and_play(server, "c1", got)
+        net.simulator.run()
+        assert session.state is SessionState.FINISHED
+        delivered = len(got)
+        server.pause(session.session_id)  # no-op, not a 409
+        assert session.state is SessionState.FINISHED
+        server.resume(session.session_id)  # replay-from-end, legal too
+        net.simulator.run()
+        assert session.state is SessionState.FINISHED
+        assert len(got) == delivered  # cursor was at the end; nothing resent
+
+    def test_close_mid_group_leaves_survivors_running(self):
+        asf = make_asf()
+        net, server = make_server(asf, ["c1", "c2"])
+        got_b = []
+        a = open_and_play(server, "c1", [])
+        b = open_and_play(server, "c2", got_b)
+        net.simulator.run_until(1.0)
+        server.close_session(a.session_id)
+        net.simulator.run()
+        assert b.state is SessionState.FINISHED
+        assert len({p.sequence for p in got_b}) == len(asf.packets)
+
+    def test_quantum_validation(self):
+        net = VirtualNetwork()
+        net.connect("server", "c", bandwidth=1e6)
+        with pytest.raises(PublishError):
+            MediaServer(net, "server", pacing_quantum=-0.1)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("quantum", [0.0, 0.5])
+    def test_fast_path_matches_legacy_bytes(self, quantum):
+        """Same content, same wire bytes — fan-out sharing is invisible."""
+        asf = make_asf()
+
+        def delivered(**kwargs):
+            net, server = make_server(asf, ["c1", "c2"], **kwargs)
+            sinks = {name: [] for name in ("c1", "c2")}
+            for name in sinks:
+                open_and_play(server, name, sinks[name])
+            net.simulator.run()
+            return {
+                name: b"".join(p.pack() for p in packets)
+                for name, packets in sinks.items()
+            }
+
+        legacy = delivered(shared_pacing=False)
+        fast = delivered(shared_pacing=True, pacing_quantum=quantum)
+        assert fast == legacy
+
+    def test_fast_path_matches_legacy_with_burst(self):
+        asf = make_asf()
+
+        def delivered(**kwargs):
+            net, server = make_server(asf, ["c1"], **kwargs)
+            got = []
+            session = server.open_session("lecture", "c1", got.append)
+            server.play(session.session_id, burst_factor=3.0,
+                        burst_seconds=2.0)
+            net.simulator.run()
+            return [(p.sequence, p.pack()) for p in got]
+
+        assert (
+            delivered(shared_pacing=True)
+            == delivered(shared_pacing=False)
+        )
+
+
+class TestEventDrivenBroadcast:
+    def make_live_server(self):
+        from repro.lod import LiveCaptureSession
+
+        net = VirtualNetwork()
+        net.connect("server", "viewer", bandwidth=2e6, delay=0.02)
+        server = MediaServer(net, "server", port=8080)
+        capture = LiveCaptureSession(
+            net.simulator, get_profile("isdn-dual"), chunk=0.5
+        )
+        return net, server, capture
+
+    def test_idle_broadcast_point_schedules_nothing(self):
+        """No viewers, no fresh packets -> no events: the old 50ms polling
+        pump burned ~20 events/s whether or not anything happened."""
+        net = VirtualNetwork()
+        net.connect("server", "viewer", bandwidth=2e6)
+        server = MediaServer(net, "server", port=8080)
+        encoder = ASFEncoder(EncoderConfig(profile=get_profile("isdn-dual")))
+        live = encoder.start_live(
+            file_id="live",
+            streams=[StreamProperties(1, "video", bitrate=100_000)],
+        )
+        server.publish("live", live.stream)
+        before = net.simulator.events_processed
+        net.simulator.run_until(10.0)
+        assert net.simulator.events_processed == before
+
+    def test_fanout_follows_capture(self):
+        net, server, capture = self.make_live_server()
+        server.publish("live", capture.stream)
+        got = []
+        session = server.open_session("live", "viewer", got.append)
+        server.play(session.session_id)
+        net.simulator.run_until(3.0)
+        mid = len(got)
+        assert mid > 0
+        net.simulator.run_until(6.0)
+        assert len(got) > mid  # still flowing with the capture
+        capture.finish()
+
+    def test_unpublish_stops_future_fanout(self):
+        net, server, capture = self.make_live_server()
+        server.publish("live", capture.stream)
+        got = []
+        session = server.open_session("live", "viewer", got.append)
+        server.play(session.session_id)
+        net.simulator.run_until(2.0)
+        server.unpublish("live")
+        net.simulator.run_until(2.5)  # drain packets already on the wire
+        seen = len(got)
+        net.simulator.run_until(5.0)
+        assert len(got) == seen
+        capture.finish()

@@ -119,6 +119,39 @@ class TestSessionTable:
         with pytest.raises(SessionError):
             SessionTable().get(42)
 
+    def test_active_index_follows_transitions(self):
+        table = SessionTable()
+        a = table.create("p", "h", lambda pkt: None, broadcast=False)
+        b = table.create("p", "h", lambda pkt: None, broadcast=False)
+        assert table.active_sessions() == []  # CONNECTING is not active
+        a.transition(SessionState.STREAMING)
+        b.transition(SessionState.STREAMING)
+        b.transition(SessionState.PAUSED)
+        assert {s.session_id for s in table.active_sessions()} == {
+            a.session_id, b.session_id
+        }
+        a.transition(SessionState.FINISHED)
+        assert [s.session_id for s in table.active_sessions()] == [b.session_id]
+        table.close(b.session_id)
+        assert table.active_sessions() == []
+
+    def test_point_index_follows_lifecycle(self):
+        table = SessionTable()
+        a = table.create("p1", "h", lambda pkt: None, broadcast=False)
+        b = table.create("p2", "h", lambda pkt: None, broadcast=False)
+        c = table.create("p1", "h", lambda pkt: None, broadcast=False)
+        assert {s.session_id for s in table.sessions_for_point("p1")} == {
+            a.session_id, c.session_id
+        }
+        assert [s.session_id for s in table.sessions_for_point("p2")] == [
+            b.session_id
+        ]
+        table.close(a.session_id)
+        assert [s.session_id for s in table.sessions_for_point("p1")] == [
+            c.session_id
+        ]
+        assert table.sessions_for_point("nowhere") == []
+
     def test_sessions_for_point(self):
         table = SessionTable()
         table.create("a", "h1", lambda pkt: None, broadcast=False)
