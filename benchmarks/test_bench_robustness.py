@@ -1,0 +1,262 @@
+"""Robustness bench — scripted faults, recovery on vs off.
+
+Runs the chaos suite's headline scenarios as measured comparisons and
+emits ``BENCH_robustness.json`` at the repo root:
+
+* **burst_loss** — 5% Gilbert–Elliott loss on a stored lecture: media
+  delivery ratio, rebuffers, NAK/repair counts, command sync;
+* **server_crash** — crash at t=6s, restart at t=8s: reconnects, resume
+  completeness, duplicate suppression;
+* **bandwidth_collapse** — MBR lecture over a link collapsing to
+  400 kbit/s: downshifts, rebuffers, watched duration;
+* **event_parity** — fault-free run with recovery armed vs not: the
+  zero-overhead invariant (identical simulator event counts).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks._harness import run_once
+
+from repro.asf import ASFEncoder, EncoderConfig, slide_commands
+from repro.media import AudioObject, ImageObject, VideoObject, get_profile
+from repro.metrics import format_table
+from repro.net import FaultInjector, FaultPlan, GilbertElliott
+from repro.streaming import MediaPlayer, MediaServer, PlayerState, RecoveryConfig
+from repro.web import VirtualNetwork
+
+PROFILE = get_profile("dsl-256k")
+DURATION = 20.0
+SLIDES = 4
+BURST_AVERAGE = 0.05
+MEAN_BURST = 5.0
+CRASH_AT, RESTART_AT = 6.0, 8.0
+COLLAPSE_AT, COLLAPSE_BPS = 5.0, 400_000.0
+HORIZON = 120.0
+
+
+def make_asf():
+    per_slide = DURATION / SLIDES
+    return ASFEncoder(EncoderConfig(profile=PROFILE)).encode_file(
+        file_id="bench-robust",
+        video=VideoObject("talk", DURATION, width=320, height=240, fps=10),
+        audio=AudioObject("voice", DURATION),
+        images=[
+            (ImageObject(f"s{i}", per_slide, width=320, height=240),
+             i * per_slide)
+            for i in range(SLIDES)
+        ],
+        commands=slide_commands(
+            [(f"s{i}", i * per_slide) for i in range(SLIDES)]
+        ),
+    )
+
+
+def mbr_asf():
+    renditions = [
+        get_profile(n)
+        for n in ("modem-56k", "isdn-dual", "dsl-256k", "lan-1m")
+    ]
+    return ASFEncoder(EncoderConfig(profile=renditions[-1])).encode_file_mbr(
+        file_id="bench-mbr",
+        video=VideoObject("talk", DURATION, width=640, height=480, fps=25),
+        renditions=renditions,
+        audio=AudioObject("voice", DURATION),
+        commands=slide_commands([("s0", 0.0), ("s1", DURATION / 2)]),
+    )
+
+
+def run_scenario(asf, *, recovery, plan=None, burst_loss=None,
+                 qos_enabled=False, register_server=False):
+    """One playback under a scripted fault; returns (report, world stats)."""
+    net = VirtualNetwork()
+    net.connect("server", "student", bandwidth=2_000_000, delay=0.02)
+    downlink = net.link("server", "student")
+    if burst_loss is not None:
+        downlink.set_loss(burst_loss=burst_loss)
+    server = MediaServer(net, "server", port=8080, qos_enabled=qos_enabled)
+    server.publish("lecture", asf)
+    if plan is not None:
+        injector = FaultInjector(
+            net, servers={"media": server} if register_server else None
+        )
+        injector.apply(plan)
+    player = MediaPlayer(net, "student", recovery=recovery)
+    player.connect(server.url_of("lecture"))
+    player.play()
+    net.simulator.run_until(HORIZON)
+    if player.state is not PlayerState.FINISHED:
+        player.stop()
+    report = player.report()
+    return report, {
+        "events": net.simulator.events_processed,
+        "server_repairs_sent": server.recovery_stats["repairs_sent"],
+        "server_downshifts": server.recovery_stats["downshifts"],
+        "sessions_created": server.sessions.total_created,
+    }
+
+
+def summarize(report, stats, clean_bytes):
+    return {
+        "delivery_ratio": (
+            report.media_bytes / clean_bytes if clean_bytes else 0.0
+        ),
+        "media_bytes": report.media_bytes,
+        "rebuffer_count": report.rebuffer_count,
+        "rebuffer_time_s": round(report.rebuffer_time, 3),
+        "duration_watched_s": round(report.duration_watched, 3),
+        "slides_fired": len(report.slide_changes()),
+        "max_command_sync_error_s": round(report.max_command_sync_error, 4),
+        "naks_sent": report.recovery.get("naks_sent", 0),
+        "repairs_received": report.recovery.get("repairs_received", 0),
+        "reconnects": report.recovery.get("reconnects", 0),
+        "downshifts": report.recovery.get("downshifts", 0),
+        "server_repairs_sent": stats["server_repairs_sent"],
+        "sessions_created": stats["sessions_created"],
+    }
+
+
+class TestRobustnessBench:
+    def test_bench_burst_loss_recovery(self, benchmark):
+        asf = make_asf()
+
+        def scenario():
+            clean, _ = run_scenario(asf, recovery=None)
+            model = GilbertElliott.from_average(
+                BURST_AVERAGE, mean_burst=MEAN_BURST
+            )
+            off, off_stats = run_scenario(
+                asf, recovery=None, burst_loss=model
+            )
+            on, on_stats = run_scenario(
+                asf, recovery=RecoveryConfig(), burst_loss=model
+            )
+            return clean, (off, off_stats), (on, on_stats)
+
+        clean, (off, off_stats), (on, on_stats) = run_once(
+            benchmark, scenario
+        )
+        rows = {
+            "recovery_off": summarize(off, off_stats, clean.media_bytes),
+            "recovery_on": summarize(on, on_stats, clean.media_bytes),
+        }
+        print(f"\n[robust] {BURST_AVERAGE:.0%} burst loss "
+              f"(mean burst {MEAN_BURST:.0f} pkts):")
+        print(format_table(
+            ["arm", "delivery", "rebuf", "naks", "repairs", "sync err"],
+            [[arm, f"{r['delivery_ratio']:.4f}", r["rebuffer_count"],
+              r["naks_sent"], r["repairs_received"],
+              f"{r['max_command_sync_error_s']:.3f}s"]
+             for arm, r in rows.items()],
+        ))
+        assert rows["recovery_off"]["delivery_ratio"] < 0.99
+        assert rows["recovery_on"]["delivery_ratio"] >= 0.99
+        assert rows["recovery_on"]["slides_fired"] == SLIDES
+        _emit(burst_loss=rows)
+
+    def test_bench_server_crash_resume(self, benchmark):
+        asf = make_asf()
+        plan = FaultPlan("crash").server_crash(
+            "media", at=CRASH_AT, restart_at=RESTART_AT
+        )
+
+        def scenario():
+            clean, _ = run_scenario(asf, recovery=None)
+            on, on_stats = run_scenario(
+                asf, recovery=RecoveryConfig(), plan=plan,
+                qos_enabled=True, register_server=True,
+            )
+            return clean, on, on_stats
+
+        clean, on, on_stats = run_once(benchmark, scenario)
+        row = summarize(on, on_stats, clean.media_bytes)
+        print(f"\n[robust] crash t={CRASH_AT:.0f}s restart "
+              f"t={RESTART_AT:.0f}s: delivery {row['delivery_ratio']:.4f}, "
+              f"{row['reconnects']} reconnect(s), "
+              f"watched {row['duration_watched_s']:.1f}s")
+        assert row["reconnects"] >= 1
+        assert row["delivery_ratio"] >= 0.999
+        assert abs(row["duration_watched_s"] - DURATION) <= 0.3
+        _emit(server_crash=row)
+
+    def test_bench_bandwidth_collapse_degradation(self, benchmark):
+        asf = mbr_asf()
+        plan = FaultPlan("collapse").bandwidth(
+            "server", "student", at=COLLAPSE_AT, bps=COLLAPSE_BPS
+        )
+
+        def scenario():
+            off, off_stats = run_scenario(asf, recovery=None, plan=plan)
+            on, on_stats = run_scenario(
+                asf, recovery=RecoveryConfig(), plan=plan
+            )
+            return (off, off_stats), (on, on_stats)
+
+        (off, off_stats), (on, on_stats) = run_once(benchmark, scenario)
+        rows = {
+            "recovery_off": summarize(off, off_stats, on.media_bytes),
+            "recovery_on": summarize(on, on_stats, on.media_bytes),
+        }
+        print(f"\n[robust] bandwidth collapse to "
+              f"{COLLAPSE_BPS / 1000:.0f}kbit/s at t={COLLAPSE_AT:.0f}s: "
+              f"off {rows['recovery_off']['rebuffer_count']} rebuffers, "
+              f"on {rows['recovery_on']['rebuffer_count']} rebuffers / "
+              f"{rows['recovery_on']['downshifts']} downshift(s)")
+        assert rows["recovery_on"]["downshifts"] >= 1
+        assert (
+            rows["recovery_on"]["rebuffer_count"]
+            < rows["recovery_off"]["rebuffer_count"]
+        )
+        _emit(bandwidth_collapse=rows)
+
+    def test_bench_fault_free_event_parity(self, benchmark):
+        asf = make_asf()
+
+        def scenario():
+            t0 = time.perf_counter()
+            off, off_stats = run_scenario(asf, recovery=None)
+            t1 = time.perf_counter()
+            on, on_stats = run_scenario(asf, recovery=RecoveryConfig())
+            t2 = time.perf_counter()
+            return (off, off_stats, t1 - t0), (on, on_stats, t2 - t1)
+
+        (off, off_stats, off_wall), (on, on_stats, on_wall) = run_once(
+            benchmark, scenario
+        )
+        print(f"\n[robust] fault-free parity: off {off_stats['events']} "
+              f"events / {off_wall:.3f}s, on {on_stats['events']} events "
+              f"/ {on_wall:.3f}s")
+        # recovery armed but unused costs not one simulator event
+        assert on_stats["events"] == off_stats["events"]
+        assert on.media_bytes == off.media_bytes
+        _emit(event_parity={
+            "recovery_off_events": off_stats["events"],
+            "recovery_on_events": on_stats["events"],
+            "identical": on_stats["events"] == off_stats["events"],
+            "recovery_off_wall_s": off_wall,
+            "recovery_on_wall_s": on_wall,
+        })
+
+
+def _emit(**section):
+    """Merge a result section into BENCH_robustness.json at repo root."""
+    path = Path(__file__).resolve().parent.parent / "BENCH_robustness.json"
+    payload = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            payload = {}
+    payload.update(section)
+    payload["config"] = {
+        "duration_s": DURATION,
+        "profile": "dsl-256k",
+        "burst_average": BURST_AVERAGE,
+        "mean_burst_packets": MEAN_BURST,
+        "crash_at_s": CRASH_AT,
+        "restart_at_s": RESTART_AT,
+        "collapse_at_s": COLLAPSE_AT,
+        "collapse_bps": COLLAPSE_BPS,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -18,7 +18,7 @@ profile's bitrate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .constants import (
     ASFError,
@@ -323,20 +323,40 @@ class LossReport:
 
 
 class Depacketizer:
-    """Reassembles media units from (possibly lossy) packet arrivals."""
+    """Reassembles media units from (possibly lossy) packet arrivals.
 
-    def __init__(self) -> None:
+    ``on_gap`` (optional) fires when an arriving sequence number implies
+    earlier packets were skipped, with the sorted list of missing
+    sequences — the hook the client's NAK loop
+    (:mod:`repro.streaming.recovery`) hangs off.
+    """
+
+    def __init__(
+        self, *, on_gap: Optional[Callable[[List[int]], None]] = None
+    ) -> None:
         self._fragments: Dict[Tuple[int, int], Dict[int, Payload]] = {}
         self._meta: Dict[Tuple[int, int], Payload] = {}
         self.completed: List[MediaUnit] = []
         self._seen_objects: Dict[int, set] = {}
         self._completed_objects: Dict[int, set] = {}
         self._seen_sequences: set = set()
+        self._max_sequence: Optional[int] = None
+        self._suppress_completed = False
+        self.suppressed_duplicates = 0
+        self.on_gap = on_gap
 
-    def expect_replay(self) -> None:
+    def expect_replay(self, *, suppress_completed: bool = False) -> None:
         """The source will intentionally re-send earlier packets (a seek):
-        forget sequence history so the replay is not dropped as duplicate."""
+        forget sequence history so the replay is not dropped as duplicate.
+
+        ``suppress_completed=True`` additionally drops payloads of objects
+        already reassembled — used when resuming after a server crash,
+        where the replay overlaps content the client has already rendered
+        and must not surface twice.
+        """
         self._seen_sequences.clear()
+        self._max_sequence = None
+        self._suppress_completed = suppress_completed
 
     def push_packet(self, packet: DataPacket) -> List[MediaUnit]:
         """Feed one packet; returns units completed by it (in order).
@@ -347,9 +367,27 @@ class Depacketizer:
         if packet.sequence in self._seen_sequences:
             return []
         self._seen_sequences.add(packet.sequence)
+        if self.on_gap is not None and self._max_sequence is not None:
+            if packet.sequence > self._max_sequence + 1:
+                missing = [
+                    seq
+                    for seq in range(self._max_sequence + 1, packet.sequence)
+                    if seq not in self._seen_sequences
+                ]
+                if missing:
+                    self.on_gap(missing)
+        if self._max_sequence is None or packet.sequence > self._max_sequence:
+            self._max_sequence = packet.sequence
         finished: List[MediaUnit] = []
         for payload in packet.payloads:
             key = (payload.stream_number, payload.object_number)
+            if (
+                self._suppress_completed
+                and payload.object_number
+                in self._completed_objects.get(payload.stream_number, ())
+            ):
+                self.suppressed_duplicates += 1
+                continue
             self._seen_objects.setdefault(payload.stream_number, set()).add(
                 payload.object_number
             )

@@ -1,6 +1,7 @@
 """Metrics: sample statistics and per-experiment collectors."""
 
 from .collector import MetricsCollector, Sample
+from .counters import Counters
 from .stats import (
     StatsError,
     Summary,
@@ -12,6 +13,7 @@ from .stats import (
 )
 
 __all__ = [
+    "Counters",
     "MetricsCollector",
     "Sample",
     "StatsError",

@@ -1,0 +1,53 @@
+"""Lightweight named counters for recovery/fault bookkeeping.
+
+The :class:`~repro.metrics.collector.MetricsCollector` records timestamped
+series; fault-injection runs mostly want plain tallies (NAKs sent, repairs
+received, reconnects, downshifts) that tests and benches can read off at
+the end. :class:`Counters` is that: a defaulting integer map with a name
+for report labeling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+
+class Counters:
+    """A named bag of monotonically increasing integer counters."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._counts: Dict[str, int] = {}
+
+    def inc(self, key: str, amount: int = 1) -> int:
+        value = self._counts.get(key, 0) + amount
+        self._counts[key] = value
+        return value
+
+    def get(self, key: str, default: int = 0) -> int:
+        return self._counts.get(key, default)
+
+    def __getitem__(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._counts))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(sorted(self._counts.items()))
+
+    def merge(self, other: "Counters") -> "Counters":
+        for key, value in other._counts.items():
+            self.inc(key, value)
+        return self
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        label = f" {self.name}" if self.name else ""
+        return f"<Counters{label} {inner}>"

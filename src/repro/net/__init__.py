@@ -1,7 +1,8 @@
 """Discrete-event network simulator: engine, links, transport, QoS."""
 
 from .engine import EventHandle, PeriodicTask, SimulationError, Simulator
-from .link import DuplexLink, Link, LinkStats
+from .faults import FaultAction, FaultInjector, FaultPlan
+from .link import DuplexLink, GilbertElliott, Link, LinkStats
 from .qos import QoSError, QoSManager, QoSSpec, Reservation
 from .transport import DatagramChannel, Message, ReliableChannel
 
@@ -9,6 +10,10 @@ __all__ = [
     "DatagramChannel",
     "DuplexLink",
     "EventHandle",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "GilbertElliott",
     "Link",
     "LinkStats",
     "Message",

@@ -1,0 +1,226 @@
+"""Deterministic fault injection: scripted timelines of network/server faults.
+
+The chaos suite's backbone. A :class:`FaultPlan` is pure data — *what*
+goes wrong, *when*, for *how long*: link-down/up windows, burst loss
+(:class:`~repro.net.link.GilbertElliott`), i.i.d. loss, bandwidth
+collapse, control-plane partitions, and media-server crash/restart. A
+:class:`FaultInjector` binds a plan to a live
+:class:`~repro.web.http.VirtualNetwork` (plus named servers) and schedules
+the exact mutations on the shared simulator, so the same plan against the
+same seeds replays the same run event for event.
+
+Faults mutate existing objects in place (``Link.take_down()``,
+``Link.set_loss()``, ``MediaServer.crash()``); nothing here knows how the
+streaming layer recovers — that is :mod:`repro.streaming.recovery`'s job.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .engine import SimulationError, Simulator
+from .link import GilbertElliott, Link
+
+#: action kinds the injector understands
+KINDS = (
+    "link_down",
+    "link_up",
+    "loss",
+    "burst_loss",
+    "clear_loss",
+    "bandwidth",
+    "restore_bandwidth",
+    "server_crash",
+    "server_restart",
+)
+
+
+@dataclass
+class FaultAction:
+    """One scheduled mutation: ``kind`` applied to ``target`` at ``at``."""
+
+    at: float
+    kind: str
+    target: Tuple[str, ...] = ()
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise SimulationError("fault time must be >= 0")
+        if self.kind not in KINDS:
+            raise SimulationError(f"unknown fault kind {self.kind!r}")
+
+
+class FaultPlan:
+    """A named, scripted fault timeline.
+
+    Builder methods append directed actions (and their reversals when
+    ``until`` is given); hosts pairs apply to both directions by default,
+    matching how a cable cut or a congested last mile behaves.
+    """
+
+    def __init__(self, name: str = "chaos") -> None:
+        self.name = name
+        self.actions: List[FaultAction] = []
+
+    def add(self, action: FaultAction) -> "FaultPlan":
+        self.actions.append(action)
+        return self
+
+    def _pairs(self, a: str, b: str, both: bool) -> List[Tuple[str, str]]:
+        return [(a, b), (b, a)] if both else [(a, b)]
+
+    # -- link faults ----------------------------------------------------
+
+    def link_down(
+        self, a: str, b: str, *, at: float, until: Optional[float] = None,
+        both: bool = True,
+    ) -> "FaultPlan":
+        """Cut a↔b at ``at``; restore at ``until`` if given."""
+        for pair in self._pairs(a, b, both):
+            self.add(FaultAction(at, "link_down", pair))
+            if until is not None:
+                self.add(FaultAction(until, "link_up", pair))
+        return self
+
+    def loss(
+        self, a: str, b: str, *, at: float, rate: float,
+        until: Optional[float] = None, both: bool = False,
+    ) -> "FaultPlan":
+        """i.i.d. loss at ``rate`` on a→b (both directions if asked)."""
+        for pair in self._pairs(a, b, both):
+            self.add(FaultAction(at, "loss", pair, {"rate": rate}))
+            if until is not None:
+                self.add(FaultAction(until, "clear_loss", pair))
+        return self
+
+    def burst_loss(
+        self, a: str, b: str, *, at: float, average: float,
+        mean_burst: float = 5.0, until: Optional[float] = None,
+        both: bool = False,
+    ) -> "FaultPlan":
+        """Gilbert–Elliott burst loss with the given stationary rate."""
+        model = GilbertElliott.from_average(average, mean_burst=mean_burst)
+        for pair in self._pairs(a, b, both):
+            self.add(FaultAction(at, "burst_loss", pair, {"model": model}))
+            if until is not None:
+                self.add(FaultAction(until, "clear_loss", pair))
+        return self
+
+    def bandwidth(
+        self, a: str, b: str, *, at: float, factor: Optional[float] = None,
+        bps: Optional[float] = None, until: Optional[float] = None,
+        both: bool = True,
+    ) -> "FaultPlan":
+        """Collapse a↔b capacity to ``bps`` (or current × ``factor``)."""
+        if (factor is None) == (bps is None):
+            raise SimulationError("bandwidth fault needs exactly one of factor/bps")
+        for pair in self._pairs(a, b, both):
+            self.add(FaultAction(at, "bandwidth", pair,
+                                 {"factor": factor, "bps": bps}))
+            if until is not None:
+                self.add(FaultAction(until, "restore_bandwidth", pair))
+        return self
+
+    def partition(
+        self, host: str, peers: Sequence[str], *, at: float,
+        until: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Isolate ``host`` from every peer (control plane included)."""
+        for peer in peers:
+            self.link_down(host, peer, at=at, until=until, both=True)
+        return self
+
+    # -- server faults --------------------------------------------------
+
+    def server_crash(
+        self, label: str, *, at: float, restart_at: Optional[float] = None
+    ) -> "FaultPlan":
+        """Kill the named server's process; optionally restart it later."""
+        self.add(FaultAction(at, "server_crash", (label,)))
+        if restart_at is not None:
+            if restart_at < at:
+                raise SimulationError("restart must not precede the crash")
+            self.add(FaultAction(restart_at, "server_restart", (label,)))
+        return self
+
+    def sorted_actions(self) -> List[FaultAction]:
+        return sorted(
+            self.actions, key=lambda a: (a.at, KINDS.index(a.kind))
+        )
+
+
+class FaultInjector:
+    """Schedules a :class:`FaultPlan` onto a network's simulator.
+
+    ``servers`` maps plan labels to objects exposing ``crash()`` /
+    ``restart()`` (a :class:`~repro.streaming.server.MediaServer`).
+    ``log`` records every applied action as ``(time, kind, target)`` so
+    tests and benches can assert the timeline actually ran.
+    """
+
+    def __init__(self, network, servers: Optional[Dict[str, Any]] = None) -> None:
+        self.network = network
+        self.simulator: Simulator = network.simulator
+        self.servers: Dict[str, Any] = dict(servers or {})
+        self.log: List[Tuple[float, str, Tuple[str, ...]]] = []
+        self._saved_bandwidth: Dict[Tuple[str, str], float] = {}
+
+    def register_server(self, label: str, server: Any) -> None:
+        self.servers[label] = server
+
+    def apply(self, plan: FaultPlan) -> int:
+        """Schedule every action of ``plan``; returns the count scheduled."""
+        actions = plan.sorted_actions()
+        for action in actions:
+            self.simulator.schedule_at(
+                action.at, functools.partial(self._execute, action)
+            )
+        return len(actions)
+
+    # ------------------------------------------------------------------
+
+    def _link(self, target: Tuple[str, ...]) -> Link:
+        if len(target) != 2:
+            raise SimulationError(f"link fault needs (src, dst), got {target}")
+        return self.network.link(*target)
+
+    def _server(self, target: Tuple[str, ...]):
+        try:
+            return self.servers[target[0]]
+        except (KeyError, IndexError):
+            raise SimulationError(
+                f"no server registered under {target!r}"
+            ) from None
+
+    def _execute(self, action: FaultAction) -> None:
+        kind, target, params = action.kind, action.target, action.params
+        if kind == "link_down":
+            self._link(target).take_down()
+        elif kind == "link_up":
+            self._link(target).bring_up()
+        elif kind == "loss":
+            self._link(target).set_loss(loss_rate=params["rate"], burst_loss=None)
+        elif kind == "burst_loss":
+            self._link(target).set_loss(burst_loss=params["model"])
+        elif kind == "clear_loss":
+            self._link(target).set_loss(loss_rate=0.0, burst_loss=None)
+        elif kind == "bandwidth":
+            link = self._link(target)
+            key = tuple(target)
+            self._saved_bandwidth.setdefault(key, link.bandwidth)
+            bps = params["bps"]
+            if bps is None:
+                bps = link.bandwidth * params["factor"]
+            link.set_bandwidth(bps)
+        elif kind == "restore_bandwidth":
+            saved = self._saved_bandwidth.pop(tuple(target), None)
+            if saved is not None:
+                self._link(target).set_bandwidth(saved)
+        elif kind == "server_crash":
+            self._server(target).crash()
+        elif kind == "server_restart":
+            self._server(target).restart()
+        self.log.append((self.simulator.now, kind, tuple(target)))

@@ -115,6 +115,20 @@ class QoSManager:
     def active(self) -> List[Reservation]:
         return list(self._reservations.values())
 
+    def assert_no_leaks(self) -> None:
+        """Raise :class:`QoSError` if any reservation is still held.
+
+        Tests call this at teardown: every admission path — clean close,
+        crash, abort, failed handshake — must have released its channel.
+        """
+        if self._reservations:
+            owners = ", ".join(
+                f"#{r.reservation_id} owner={r.owner or '?'} "
+                f"bw={r.spec.bandwidth:g}"
+                for r in self._reservations.values()
+            )
+            raise QoSError(f"leaked reservations: {owners}")
+
     def best_effort_bandwidth(self, demand: float) -> float:
         """Rate available to an unreserved flow asking for ``demand``."""
         return max(0.0, min(demand, self.available))

@@ -15,6 +15,7 @@ timing reflects real packet sizes without serializing everything twice.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -62,15 +63,19 @@ class _Pending:
     seq: int
     message: Message
     attempts: int = 0
+    rto: float = 0.0  # current (backed-off) timeout for this message
 
 
 class ReliableChannel:
     """Stop-and-wait-window ARQ with cumulative in-order delivery.
 
     Simple but complete: sequence numbers, a retransmission timer per
-    message, duplicate suppression, and in-order handoff to the receiver.
-    Suitable for the control plane (a handful of small messages), not bulk
-    media. ``max_attempts`` exhaustion calls ``on_fail``.
+    message with exponential backoff (×``backoff`` per retry, jittered,
+    capped at ``rto_max`` so partition-era retries don't hammer the link
+    in lock-step), duplicate suppression, and in-order handoff to the
+    receiver. Suitable for the control plane (a handful of small
+    messages), not bulk media. ``max_attempts`` exhaustion calls
+    ``on_fail``.
     """
 
     ACK_SIZE = 40
@@ -84,11 +89,21 @@ class ReliableChannel:
         *,
         rto: float = 0.25,
         max_attempts: int = 8,
+        backoff: float = 2.0,
+        rto_max: float = 4.0,
+        jitter: float = 0.1,  # fraction of rto, uniform ±
+        seed: int = 0,
         header_size: int = 40,  # IP+TCP-ish
         on_fail: Optional[Callable[[Message], None]] = None,
     ) -> None:
         if rto <= 0:
             raise SimulationError("rto must be positive")
+        if backoff < 1:
+            raise SimulationError("backoff must be >= 1")
+        if rto_max < rto:
+            raise SimulationError("rto_max must be >= rto")
+        if not 0 <= jitter < 1:
+            raise SimulationError("jitter must be in [0, 1)")
         self.simulator = simulator
         self.out_link = out_link
         self.ack_link = ack_link
@@ -96,19 +111,22 @@ class ReliableChannel:
         self.on_fail = on_fail
         self.rto = rto
         self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.rto_max = rto_max
+        self.jitter = jitter
         self.header_size = header_size
+        self.rng = random.Random(seed)
         self._next_seq = itertools.count()
         self._unacked: Dict[int, _Pending] = {}
         self._recv_buffer: Dict[int, Message] = {}
         self._next_deliver = 0
-        self._delivered_seqs: set = set()
         self.retransmissions = 0
 
     # -- sender side ----------------------------------------------------
 
     def send(self, message: Message) -> int:
         seq = next(self._next_seq)
-        pending = _Pending(seq, message)
+        pending = _Pending(seq, message, rto=self.rto)
         self._unacked[seq] = pending
         self._transmit(pending)
         return seq
@@ -120,7 +138,12 @@ class ReliableChannel:
             pending.message.size + self.header_size,
             lambda: self._arrive(seq, pending.message),
         )
-        self.simulator.schedule(self.rto, lambda: self._timeout(seq))
+        timeout = pending.rto
+        # jitter desynchronizes *retries* only — first attempts keep the
+        # deterministic base RTO, so loss-free timelines are unchanged
+        if pending.attempts > 1 and self.jitter > 0:
+            timeout *= 1 + self.rng.uniform(-self.jitter, self.jitter)
+        self.simulator.schedule(timeout, lambda: self._timeout(seq))
 
     def _timeout(self, seq: int) -> None:
         pending = self._unacked.get(seq)
@@ -131,6 +154,7 @@ class ReliableChannel:
             if self.on_fail is not None:
                 self.on_fail(pending.message)
             return
+        pending.rto = min(pending.rto * self.backoff, self.rto_max)
         self.retransmissions += 1
         self._transmit(pending)
 
@@ -146,11 +170,12 @@ class ReliableChannel:
     def _arrive(self, seq: int, message: Message) -> None:
         # always ack, even duplicates (the ack may have been lost)
         self.ack_link.transmit(self.ACK_SIZE, lambda: self._acked(seq))
-        if seq in self._delivered_seqs or seq in self._recv_buffer:
+        # cumulative in-order delivery: anything below the delivery
+        # frontier has already been handed up, no per-seq set needed
+        if seq < self._next_deliver or seq in self._recv_buffer:
             return
         self._recv_buffer[seq] = message
         while self._next_deliver in self._recv_buffer:
             ready = self._recv_buffer.pop(self._next_deliver)
-            self._delivered_seqs.add(self._next_deliver)
             self._next_deliver += 1
             self.on_receive(ready)

@@ -9,6 +9,7 @@ from .client import (
     PlayerState,
     RenderedUnit,
 )
+from .recovery import NakRequest, RecoveryClient, RecoveryConfig
 from .server import MediaServer, PublishError, PublishingPoint
 from .session import SessionError, SessionState, SessionTable, StreamSession
 
@@ -17,11 +18,14 @@ __all__ = [
     "JitterBuffer",
     "MediaPlayer",
     "MediaServer",
+    "NakRequest",
     "PlaybackReport",
     "PlayerError",
     "PlayerState",
     "PublishError",
     "PublishingPoint",
+    "RecoveryClient",
+    "RecoveryConfig",
     "RenderedUnit",
     "SessionError",
     "SessionState",

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
+from urllib.parse import urlparse
 
 from ..asf.constants import SCRIPT_STREAM_NUMBER
 from ..asf.drm import DRMError, License, LicenseServer, scramble
@@ -31,8 +32,11 @@ from ..asf.header import HeaderObject
 from ..asf.packets import DataPacket, Depacketizer, MediaUnit, command_from_unit
 from ..asf.script_commands import ScriptCommand, ScriptCommandDispatcher
 from ..media.clock import PresentationClock
-from ..net.engine import PeriodicTask, Simulator
+from ..metrics.counters import Counters
+from ..net.engine import EventHandle, PeriodicTask, Simulator
+from ..net.transport import DatagramChannel, Message
 from ..web.http import HTTPClient, HTTPError, VirtualNetwork
+from .recovery import NAK_WIRE_SIZE, NakRequest, RecoveryClient, RecoveryConfig
 
 
 class PlayerError(Exception):
@@ -83,6 +87,10 @@ class PlaybackReport:
     commands: List[FiredCommand]
     loss_rates: Dict[int, float]
     duration_watched: float
+    #: media-stream bytes reassembled end to end (delivery-ratio numerator)
+    media_bytes: int = 0
+    #: recovery counters (NAKs, repairs, reconnects, downshifts...)
+    recovery: Dict[str, int] = field(default_factory=dict)
 
     @property
     def max_command_sync_error(self) -> float:
@@ -116,6 +124,7 @@ class MediaPlayer:
         license_server: Optional[LicenseServer] = None,
         sync_mode: str = "script",
         preroll_override: Optional[float] = None,
+        recovery: Optional[RecoveryConfig] = None,
     ) -> None:
         if sync_mode not in ("script", "timer"):
             raise PlayerError(f"unknown sync mode {sync_mode!r}")
@@ -159,6 +168,25 @@ class MediaPlayer:
         self._stall_is_underrun = False
         self._start_position = 0.0
         self._stream_ended = False
+
+        # recovery (opt-in: None keeps the seed's fire-and-forget behavior
+        # and schedules not a single extra simulator event)
+        self.recovery_config = recovery
+        self.recovery_stats = Counters("player-recovery")
+        self._recovery: Optional[RecoveryClient] = None
+        self._nak_channel: Optional[DatagramChannel] = None
+        self._recovery_sink = None  # server's NAK receiver (from "open")
+        self._reconnecting = False
+        self._reconnect_attempts = 0
+        self._reconnect_timer: Optional[EventHandle] = None
+        #: old session ids whose close was swallowed by a partition — the
+        #: server still thinks they stream (and holds their QoS channels),
+        #: so every later attempt retries the close until one lands
+        self._orphan_sessions: List[int] = []
+        #: streams granted by a downshift but not yet seen on the wire —
+        #: excluded from buffer-depth accounting until data arrives, so a
+        #: shift doesn't instantly register as an underrun
+        self._pending_streams: Set[int] = set()
 
     # ------------------------------------------------------------------
     # connection
@@ -214,21 +242,28 @@ class MediaPlayer:
             self.header.drm.content_id, self.user
         )
 
-    def _control(self, action: str, **fields) -> None:
+    def _control(self, action: str, **fields) -> Any:
         assert self._server_url is not None
         response = self.http.post(f"{self._server_url}/control/{action}", body=fields)
         if not response.ok:
             raise PlayerError(f"{action} failed: {response.status} {response.body}")
         if action == "open":
             self.session_id = response.body["session_id"]
+            self._recovery_sink = response.body.get("recovery_sink")
             included = response.body.get("streams")
             if included is not None:
                 # MBR: buffer-depth accounting covers only streams the
-                # server actually sends this session
+                # server actually sends this session — recomputed from the
+                # header so a reconnect after a downshift starts clean
                 self._media_streams = [
-                    s for s in self._media_streams if s in included
+                    s.stream_number
+                    for s in self.header.streams
+                    if s.stream_type in ("video", "audio")
+                    and s.stream_number in included
                 ]
                 self.selected_video = response.body.get("selected_video")
+            self._pending_streams.clear()
+        return response.body
 
     def play(self, *, start: float = 0.0, burst_factor: float = 1.0) -> None:
         """Open a session and begin buffering from ``start`` seconds.
@@ -249,16 +284,199 @@ class MediaPlayer:
         self.state = PlayerState.BUFFERING
         self._start_position = start
         self._pending_catchup = start > 0
+        self._arm_recovery()
         self._render_task = PeriodicTask(
             self.simulator, self.RENDER_TICK, self._render_tick
         )
+
+    # ------------------------------------------------------------------
+    # recovery plumbing (NAKs, watchdog, reconnection, degradation)
+    # ------------------------------------------------------------------
+
+    def _arm_recovery(self) -> None:
+        """Wire the NAK loop and watchdog to the current session.
+
+        Costs no simulator events by itself: the NAK timer only exists
+        while gaps are outstanding, and the watchdog is polled from the
+        render tick the player already runs.
+        """
+        if self.recovery_config is None or self._recovery_sink is None:
+            return
+        if self._nak_channel is None:
+            server_host = urlparse(self._server_url).hostname
+            link = self.network.link(self.host, server_host)
+            self._nak_channel = DatagramChannel(link, self._recovery_sink)
+        else:
+            self._nak_channel.on_receive = self._recovery_sink
+        if self._recovery is None:
+            self._recovery = RecoveryClient(
+                self.simulator,
+                self.recovery_config,
+                send_nak=self._send_nak,
+                runway=self._recovery_runway,
+                on_downshift=self._request_downshift,
+                counters=self.recovery_stats,
+            )
+        self._depacketizer.on_gap = self._on_sequence_gap
+        self._recovery.note_arrival()
+
+    def _send_nak(self, sequences: Tuple[int, ...]) -> None:
+        if self._nak_channel is None or self.session_id is None:
+            return
+        self._nak_channel.send(
+            Message(NakRequest(self.session_id, tuple(sequences)), NAK_WIRE_SIZE)
+        )
+
+    def _on_sequence_gap(self, missing: List[int]) -> None:
+        if self._recovery is None or self._reconnecting:
+            return
+        self._recovery.observe_gaps(missing)
+
+    def _recovery_runway(self) -> float:
+        """Buffered seconds ahead of the playhead — the recovery window.
+
+        While the clock is stopped (buffering, paused) no deadline is
+        approaching, so the window is unconditionally open.
+        """
+        if self.state is not PlayerState.PLAYING:
+            return float("inf")
+        return self._buffer.depth(self.position, self._media_streams)
+
+    def _reconnect_position(self) -> float:
+        """Where to resume after a reconnect: the buffered frontier.
+
+        Everything up to min(per-stream horizons) was already delivered —
+        asking the server to replay from there keeps continuity with the
+        playhead without re-downloading delivered content.
+        """
+        base = self.position if self._clock.started else self._start_position
+        if self._media_streams:
+            horizons = [
+                self._buffer.horizon_ms.get(s, -1) for s in self._media_streams
+            ]
+            if all(h >= 0 for h in horizons):
+                base = max(base, min(horizons) / 1000.0)
+        return base
+
+    def _begin_reconnect(self, now: float) -> None:
+        """The watchdog fired: delivery stalled (crash or partition)."""
+        self.recovery_stats.inc("stalls_detected")
+        self._reconnecting = True
+        self._reconnect_attempts = 0
+        if self._recovery is not None:
+            self._recovery.reset()  # in-flight NAKs are moot
+        if self.state is PlayerState.PLAYING:
+            self._enter_rebuffer(now)
+        self._attempt_reconnect()
+
+    def _attempt_reconnect(self) -> None:
+        """Close whatever is left of the old session, reopen, resume.
+
+        Runs re-entrantly from the render tick (precedent: `_finish`'s
+        close). The HTTP timeout is clamped while the server may be
+        unreachable so a dead control plane costs seconds, not the
+        default 10s, per attempt.
+        """
+        assert self.recovery_config is not None
+        self._reconnect_timer = None
+        self._reconnect_attempts += 1
+        self.recovery_stats.inc("reconnect_attempts")
+        saved_timeout = self.http.timeout
+        self.http.timeout = min(saved_timeout, 2.0)
+        try:
+            if self.session_id is not None:
+                self._orphan_sessions.append(self.session_id)
+                self.session_id = None
+            # close old sessions first so the server frees their QoS
+            # channels before the new open reserves another
+            for orphan in list(self._orphan_sessions):
+                try:
+                    self._control("close", session_id=orphan)
+                    self._orphan_sessions.remove(orphan)
+                except PlayerError:
+                    # the server answered but no longer knows the session
+                    # (crash wiped it): nothing left to close
+                    self._orphan_sessions.remove(orphan)
+                # HTTPError (no answer at all) propagates: the control
+                # plane is still dead, so the open below would fail too
+            resume_at = self._reconnect_position()
+            self._control("open", point=self._point, deliver=self._on_packet)
+            if self._broadcast:
+                # live: just reattach; the sequence gap across the outage
+                # drives NAK repair of whatever the feed sent meanwhile
+                self._control("play", session_id=self.session_id)
+            else:
+                # replay overlaps delivered content at the boundary; the
+                # depacketizer drops anything already reassembled
+                self._depacketizer.expect_replay(suppress_completed=True)
+                self._control(
+                    "play", session_id=self.session_id, start=resume_at
+                )
+        except (PlayerError, HTTPError):
+            self.session_id = None
+            if self._reconnect_attempts >= self.recovery_config.max_reconnects:
+                self.recovery_stats.inc("reconnect_giveups")
+                self._reconnecting = False
+                self._finish()
+                return
+            delay = min(
+                self.recovery_config.reconnect_backoff
+                * (2 ** (self._reconnect_attempts - 1)),
+                self.recovery_config.reconnect_backoff_max,
+            )
+            self._reconnect_timer = self.simulator.schedule(
+                delay, self._attempt_reconnect
+            )
+        else:
+            self._reconnecting = False
+            self._reconnect_attempts = 0
+            self.recovery_stats.inc("reconnects")
+            if self._recovery is not None:
+                self._recovery.reset()
+            self._arm_recovery()
+        finally:
+            self.http.timeout = saved_timeout
+
+    def _request_downshift(self) -> bool:
+        """Ask the server for the next lower rendition (reliable path —
+        a lost downshift request would defeat its purpose)."""
+        if (
+            self.session_id is None
+            or self._reconnecting
+            or (
+                self._recovery is not None
+                and self._recovery.stalled(self.simulator.now)
+            )
+        ):
+            return False  # stalled/reconnecting: the watchdog owns this
+        try:
+            body = self._control("downshift", session_id=self.session_id)
+        except (PlayerError, HTTPError):
+            return False
+        if not isinstance(body, dict) or not body.get("ok"):
+            return False
+        old_video = self.selected_video
+        new_video = body.get("selected_video")
+        self.selected_video = new_video
+        if old_video is not None and old_video in self._media_streams:
+            self._media_streams.remove(old_video)
+        if new_video is not None and new_video not in self._media_streams:
+            self._pending_streams.add(new_video)
+        return True
 
     # ------------------------------------------------------------------
     # data path
     # ------------------------------------------------------------------
 
     def _on_packet(self, packet: DataPacket) -> None:
+        if self._recovery is not None:
+            self._recovery.note_arrival(packet.sequence)
         for unit in self._depacketizer.push_packet(packet):
+            if unit.stream_number in self._pending_streams:
+                # first data of a downshifted rendition: it now counts
+                # toward buffer depth
+                self._pending_streams.discard(unit.stream_number)
+                self._media_streams.append(unit.stream_number)
             if unit.stream_number == SCRIPT_STREAM_NUMBER:
                 # stored files dispatch from the header command table; only
                 # live broadcasts (no table up front) fire inline commands
@@ -316,6 +534,18 @@ class MediaPlayer:
         if self.state in (PlayerState.PAUSED, PlayerState.FINISHED, PlayerState.IDLE):
             return
         now = self.simulator.now
+        # stall watchdog, piggybacked on the tick the player already runs:
+        # total delivery silence means the server crashed or the path is
+        # partitioned — reconnect and resume from the buffered frontier
+        if (
+            self._recovery is not None
+            and not self._reconnecting
+            and not self._stream_ended
+            and not self._end_of_content()
+            and self._recovery.stalled(now)
+        ):
+            self._begin_reconnect(now)
+            return
         if self.state is PlayerState.BUFFERING:
             anchor = self.position if self._clock.started else self._start_position
             if (
@@ -393,6 +623,14 @@ class MediaPlayer:
         self._stall_started = now
         self._stall_is_underrun = True
         self._clock.pause(now)
+        if (
+            self._recovery is not None
+            and not self._reconnecting
+            and not self._recovery.stalled(now)
+        ):
+            # data still flows, just not fast enough: degrade gracefully
+            # to a lighter rendition instead of rebuffering repeatedly
+            self._recovery.request_downshift()
 
     def _fire_timer_commands(self, now: float) -> None:
         """Strawman sync: commands fire at wall-clock offsets from start."""
@@ -421,6 +659,17 @@ class MediaPlayer:
             self._clock.pause(self.simulator.now)
         if self._render_task is not None:
             self._render_task.stop()
+        if self._reconnect_timer is not None:
+            self.simulator.cancel(self._reconnect_timer)
+            self._reconnect_timer = None
+        if self._recovery is not None:
+            self._recovery.reset()  # cancel any armed NAK timer
+        for orphan in self._orphan_sessions:
+            try:
+                self._control("close", session_id=orphan)
+            except (PlayerError, HTTPError):
+                pass
+        self._orphan_sessions.clear()
         if self.session_id is not None:
             try:
                 self._control("close", session_id=self.session_id)
@@ -444,6 +693,10 @@ class MediaPlayer:
             raise PlayerError(f"cannot resume from {self.state.value}")
         self._control("resume", session_id=self.session_id)
         self._clock.resume(self.simulator.now)
+        if self._recovery is not None:
+            # arrivals legitimately stopped while paused; restart the
+            # watchdog clock instead of declaring a stall
+            self._recovery.note_arrival()
         self.state = PlayerState.PLAYING
 
     def seek(self, position: float) -> None:
@@ -457,6 +710,8 @@ class MediaPlayer:
             self._control("resume", session_id=self.session_id)
         self._buffer.clear()
         self._depacketizer.expect_replay()  # the server re-sends from here
+        if self._recovery is not None:
+            self._recovery.reset()  # gaps before the seek are moot
         self._clock.seek(now, position)
         if not was_paused:
             self._clock.pause(now)
@@ -502,6 +757,11 @@ class MediaPlayer:
             if self._first_render is not None and self._connect_time is not None
             else float("inf")
         )
+        media_bytes = sum(
+            unit.size
+            for unit in self._depacketizer.completed
+            if unit.stream_number != SCRIPT_STREAM_NUMBER
+        )
         return PlaybackReport(
             point=self._point or "",
             startup_latency=startup,
@@ -513,6 +773,8 @@ class MediaPlayer:
                 s: loss.loss_rate(s) for s in loss.delivered
             },
             duration_watched=self.position,
+            media_bytes=media_bytes,
+            recovery=self.recovery_stats.as_dict(),
         )
 
     def mark_stream_ended(self) -> None:

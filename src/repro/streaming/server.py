@@ -36,10 +36,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..asf.packets import DataPacket
 from ..asf.stream import ASFFile, ASFLiveStream
+from ..metrics.counters import Counters
 from ..net.engine import Simulator
-from ..net.qos import QoSError, QoSManager, QoSSpec
+from ..net.qos import QoSError, QoSManager, QoSSpec, Reservation
 from ..net.transport import DatagramChannel, Message
 from ..web.http import HTTPRequest, HTTPResponse, HTTPServer, VirtualNetwork
+from .recovery import NakRequest
 from .session import SessionError, SessionState, SessionTable, StreamSession
 
 
@@ -62,9 +64,23 @@ class _PointSchedule:
         self._thinned: Dict[
             Tuple[int, frozenset], Optional[Tuple[DataPacket, int]]
         ] = {}
+        self._by_sequence: Optional[Dict[int, int]] = None
 
     def __len__(self) -> int:
         return len(self.packets)
+
+    def index_of_sequence(self, sequence: int) -> Optional[int]:
+        """Packet index carrying ``sequence`` (NAK repair lookup).
+
+        Sequences are not dense in stored files (the packetizer drops
+        empty packets), so this keeps a lazily built map rather than
+        assuming ``index == sequence``.
+        """
+        if self._by_sequence is None:
+            self._by_sequence = {
+                p.sequence: i for i, p in enumerate(self.packets)
+            }
+        return self._by_sequence.get(sequence)
 
     def entry(
         self, index: int, excluded: frozenset
@@ -196,6 +212,16 @@ class MediaServer:
         self._groups: Dict[tuple, _PacingGroup] = {}
         self._channels: Dict[int, DatagramChannel] = {}
         self._broadcast_feeds: Dict[str, Callable] = {}
+        #: fault state: while crashed the server answers nothing and
+        #: delivers nothing (flipped by crash()/restart(), typically via
+        #: repro.net.faults)
+        self.crashed = False
+        self.crash_count = 0
+        self.recovery_stats = Counters("server-recovery")
+        #: broadcast NAK repair: per-point sequence -> packet, built
+        #: incrementally over the live stream's accumulated history
+        self._live_index: Dict[str, Dict[int, DataPacket]] = {}
+        self._live_scanned: Dict[str, int] = {}
         self.http = HTTPServer(network, host, port)
         self._register_routes()
 
@@ -236,6 +262,8 @@ class MediaServer:
         if feed is not None:
             point.content.unsubscribe(feed)
         self._schedules.pop(name, None)
+        self._live_index.pop(name, None)
+        self._live_scanned.pop(name, None)
         del self.points[name]
 
     def _point(self, name: str) -> PublishingPoint:
@@ -263,6 +291,8 @@ class MediaServer:
         client_host: str,
         deliver: Callable[[DataPacket], None],
     ) -> StreamSession:
+        if self.crashed:
+            raise SessionError("server is down")
         point = self._point(name)
         session = self.sessions.create(
             name, client_host, deliver, broadcast=point.broadcast
@@ -273,7 +303,15 @@ class MediaServer:
                 client_host, QoSManager(self.network.link(self.host, client_host))
             )
             spec = QoSSpec(bandwidth=max(self._session_bitrate(session, point), 1.0))
-            session.reservation = manager.reserve(spec, owner=f"session{session.session_id}")
+            try:
+                session.reservation = manager.reserve(
+                    spec, owner=f"session{session.session_id}"
+                )
+            except QoSError:
+                # failed handshake must not leave a half-open session
+                # (nor, trivially, a reservation) behind
+                self.sessions.close(session.session_id)
+                raise
         return session
 
     def _select_renditions(self, session: StreamSession, point: PublishingPoint) -> None:
@@ -388,10 +426,182 @@ class MediaServer:
         session = self.sessions.get(session_id)
         self._stop_session_pacing(session)
         self._channels.pop(session_id, None)
+        self._release_reservation(session)
+        self.sessions.close(session_id)
+
+    def _release_reservation(self, session: StreamSession) -> None:
+        """Give back a session's QoS channel — every teardown path (clean
+        close, crash, aborted handshake) funnels through here so no
+        reservation outlives its session."""
         if session.reservation is not None:
             self._qos[session.client_host].release(session.reservation)
             session.reservation = None
-        self.sessions.close(session_id)
+
+    def qos_leaks(self) -> List[Reservation]:
+        """Reservations still held across all client links."""
+        return [r for manager in self._qos.values() for r in manager.active()]
+
+    def assert_no_qos_leaks(self) -> None:
+        """Raise :class:`QoSError` if any client link still holds a
+        reservation — test-suite invariant after every teardown path."""
+        for manager in self._qos.values():
+            manager.assert_no_leaks()
+
+    # ------------------------------------------------------------------
+    # fault hooks (driven by repro.net.faults)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Hard process failure mid-stream.
+
+        Every session dies with the process: pacing chains stop, datagram
+        channels vanish, QoS reservations are reclaimed (the reservations
+        live in this process — nothing survives to hold them). Clients
+        notice only through silence; their watchdog drives reconnection
+        after :meth:`restart`.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_count += 1
+        for session in self.sessions.all():
+            self._stop_session_pacing(session)
+            self._release_reservation(session)
+            self.sessions.close(session.session_id)
+        self._channels.clear()
+        self._groups.clear()
+
+    def restart(self) -> None:
+        """Bring the crashed process back with empty session state.
+
+        Published content is durable (stored files on disk, the live feed
+        re-attached by the encoder), so points survive; sessions do not —
+        clients must reopen.
+        """
+        self.crashed = False
+
+    # ------------------------------------------------------------------
+    # recovery: NAK-driven selective retransmit + graceful degradation
+    # ------------------------------------------------------------------
+
+    def _on_recovery_message(self, message: Message) -> None:
+        """Receive side of the client's recovery datagram channel."""
+        payload = message.payload
+        if isinstance(payload, NakRequest):
+            self._handle_nak(payload)
+
+    def _handle_nak(self, nak: NakRequest) -> None:
+        """Re-send cached packets the client reports missing.
+
+        Repairs reuse the point's shared packet cache (`_PointSchedule`
+        entries for stored files, the live stream's accumulated packets
+        for broadcasts) — a retransmit costs a lookup and a send, never a
+        re-encode. Passive by design: no server-side timers or per-client
+        loss state, so a loss-free run does zero extra work.
+        """
+        if self.crashed:
+            return
+        try:
+            session = self.sessions.get(nak.session_id)
+        except SessionError:
+            self.recovery_stats.inc("naks_stale_session")
+            return
+        if not session.active:
+            self.recovery_stats.inc("naks_stale_session")
+            return
+        point = self.points.get(session.point)
+        if point is None:
+            return
+        batch: List[DataPacket] = []
+        wire = 0
+        for sequence in nak.sequences:
+            entry = self._repair_entry(point, session, sequence)
+            if entry is None:
+                self.recovery_stats.inc("repairs_unavailable")
+                continue
+            batch.append(entry[0])
+            wire += entry[1]
+        if batch:
+            self._send_train(session, batch, wire)
+            session.retransmits_sent += len(batch)
+            self.recovery_stats.inc("repairs_sent", len(batch))
+
+    def _repair_entry(
+        self, point: PublishingPoint, session: StreamSession, sequence: int
+    ) -> Optional[Tuple[DataPacket, int]]:
+        """Cached ``(packet, wire size)`` for one NAKed sequence."""
+        if point.broadcast:
+            packet = self._live_packet(point, sequence)
+            if packet is None:
+                return None
+            return self._thin_for(session, packet)
+        sched = self._schedules.get(point.name)
+        if sched is None:
+            return None
+        index = sched.index_of_sequence(sequence)
+        if index is None:
+            return None
+        return sched.entry(index, session.excluded_streams)
+
+    def _live_packet(
+        self, point: PublishingPoint, sequence: int
+    ) -> Optional[DataPacket]:
+        """Find a broadcast packet by sequence, extending the per-point
+        index over whatever the live stream has accumulated since the
+        last lookup (amortized O(1) per appended packet)."""
+        index = self._live_index.setdefault(point.name, {})
+        packets = point.content.packets
+        scanned = self._live_scanned.get(point.name, 0)
+        while scanned < len(packets):
+            packet = packets[scanned]
+            index[packet.sequence] = packet
+            scanned += 1
+        self._live_scanned[point.name] = scanned
+        return index.get(sequence)
+
+    def downshift(self, session_id: int) -> Optional[int]:
+        """Shift a session one MBR rendition down (graceful degradation).
+
+        Returns the new video stream number, or None when the session is
+        single-rate or already at the lowest rendition. The QoS channel is
+        re-reserved at the reduced bitrate; if even that is refused the
+        session continues best-effort rather than being torn down.
+        """
+        session = self.sessions.get(session_id)
+        point = self._point(session.point)
+        renditions = sorted(
+            point.header.mbr_group("video"), key=lambda s: s.bitrate
+        )
+        if not renditions or session.selected_video is None:
+            return None
+        numbers = [s.stream_number for s in renditions]
+        try:
+            current = numbers.index(session.selected_video)
+        except ValueError:
+            return None
+        if current == 0:
+            return None  # already at the floor
+        chosen = renditions[current - 1]
+        session.selected_video = chosen.stream_number
+        session.excluded_streams = frozenset(
+            s.stream_number for s in renditions if s is not chosen
+        )
+        session.downshifts += 1
+        self.recovery_stats.inc("downshifts")
+        if session.reservation is not None:
+            manager = self._qos[session.client_host]
+            manager.release(session.reservation)
+            session.reservation = None
+            spec = QoSSpec(
+                bandwidth=max(self._session_bitrate(session, point), 1.0)
+            )
+            try:
+                session.reservation = manager.reserve(
+                    spec, owner=f"session{session.session_id}"
+                )
+            except QoSError:
+                pass  # collapsed link may refuse even the floor; run best-effort
+        return chosen.stream_number
 
     # ------------------------------------------------------------------
     # pacing
@@ -577,6 +787,10 @@ class MediaServer:
     ) -> None:
         """Fresh packets from the live encoder: schedule each fan-out at
         its send time (immediately for overdue packets) in one batch."""
+        if self.crashed:
+            # the process is down; the encoder's history still accumulates
+            # in the live stream, so post-restart NAKs can repair the hole
+            return
         now = self.simulator.now
         self.simulator.schedule_batch(
             (
@@ -589,6 +803,8 @@ class MediaServer:
     def _fan_out_live(
         self, name: str, stream: ASFLiveStream, packet: DataPacket
     ) -> None:
+        if self.crashed:
+            return  # fan-out event scheduled before the crash landed
         point = self.points.get(name)
         if point is None or point.content is not stream:
             return  # unpublished (or republished) while the event was in flight
@@ -628,21 +844,29 @@ class MediaServer:
         session.packets_sent += len(packets)
         session.bytes_sent += wire_size
 
+    def _thin_for(
+        self, session: StreamSession, packet: DataPacket
+    ) -> Optional[Tuple[DataPacket, int]]:
+        """Per-session view of one packet (MBR thinning), or None when the
+        whole packet belongs to withheld renditions."""
+        if not session.excluded_streams:
+            return packet, packet.packet_size
+        kept = [
+            p for p in packet.payloads
+            if p.stream_number not in session.excluded_streams
+        ]
+        if not kept:
+            return None
+        thin = DataPacket(
+            packet.sequence, packet.send_time_ms, kept, packet.packet_size
+        )
+        return thin, thin.used()  # thinned: padding stripped
+
     def _transmit(self, session: StreamSession, packet: DataPacket) -> None:
-        if session.excluded_streams:
-            kept = [
-                p for p in packet.payloads
-                if p.stream_number not in session.excluded_streams
-            ]
-            if not kept:
-                return  # whole packet belonged to withheld renditions
-            packet = DataPacket(
-                packet.sequence, packet.send_time_ms, kept, packet.packet_size
-            )
-            wire_size = packet.used()  # thinned: padding stripped
-        else:
-            wire_size = packet.packet_size
-        self._send_train(session, [packet], wire_size)
+        entry = self._thin_for(session, packet)
+        if entry is None:
+            return
+        self._send_train(session, [entry[0]], entry[1])
 
     # ------------------------------------------------------------------
     # HTTP control plane
@@ -653,6 +877,8 @@ class MediaServer:
         self.http.route("POST", "/control/", self._handle_control)
 
     def _handle_describe(self, request: HTTPRequest) -> HTTPResponse:
+        if self.crashed:
+            return HTTPResponse(503, body="server is down")
         name = request.path[len("/lod/"):]
         if name not in self.points:
             return HTTPResponse(404, body=f"unknown publishing point {name!r}")
@@ -668,6 +894,8 @@ class MediaServer:
         )
 
     def _handle_control(self, request: HTTPRequest) -> HTTPResponse:
+        if self.crashed:
+            return HTTPResponse(503, body="server is down")
         action = request.path[len("/control/"):]
         body = request.body or {}
         try:
@@ -681,9 +909,25 @@ class MediaServer:
                         "session_id": session.session_id,
                         "streams": self.included_streams(session.session_id),
                         "selected_video": session.selected_video,
+                        # reverse datagram path for NAKs — callables ride
+                        # response bodies the same way `deliver` rides the
+                        # open request
+                        "recovery_sink": self._on_recovery_message,
                     },
                 )
             session_id = int(body["session_id"])
+            if action == "downshift":
+                new_video = self.downshift(session_id)
+                return HTTPResponse(
+                    200,
+                    body={
+                        "ok": new_video is not None,
+                        "selected_video": self.sessions.get(
+                            session_id
+                        ).selected_video,
+                        "streams": self.included_streams(session_id),
+                    },
+                )
             if action == "play":
                 self.play(
                     session_id,

@@ -65,6 +65,10 @@ class StreamSession:
     excluded_streams: frozenset = frozenset()
     #: the MBR video stream chosen for this client (None = single-rate)
     selected_video: Optional[int] = None
+    #: graceful-degradation shifts applied to this session
+    downshifts: int = 0
+    #: packets re-sent in answer to client NAKs
+    retransmits_sent: int = 0
     #: registry hook: notified after every state change (set by SessionTable)
     _observer: Optional[Callable[["StreamSession"], None]] = field(
         default=None, repr=False, compare=False
@@ -147,6 +151,10 @@ class SessionTable:
     def active_sessions(self) -> List[StreamSession]:
         """STREAMING/PAUSED sessions — indexed, not a table scan."""
         return list(self._active.values())
+
+    def all(self) -> List[StreamSession]:
+        """Every registered session regardless of state."""
+        return list(self._sessions.values())
 
     def sessions_for_point(self, point: str) -> List[StreamSession]:
         """Sessions attached to ``point`` — indexed, not a table scan."""

@@ -1,0 +1,140 @@
+"""Baseline: what a lossy link does to playback *without* recovery.
+
+Pins the seed's fire-and-forget behaviour so test_recovery.py's claims
+("recovery-on delivers what recovery-off provably drops") rest on an
+asserted baseline, not an assumption:
+
+* burst loss permanently drops media bytes (datagrams are never re-sent);
+* a link-down window over a live slide change loses that command forever
+  (live commands ride the media path inline, with no replay);
+* stored-file slide commands survive loss (they dispatch from the header
+  command table, which arrives over reliable HTTP).
+
+``CHAOS_SEED`` (env) reseeds the lossy links so CI can sweep a few runs;
+every assertion here must hold for seeds 0, 1, 2.
+"""
+
+import os
+
+import pytest
+
+from repro.asf import ASFEncoder, EncoderConfig, slide_commands
+from repro.lod import LiveCaptureSession
+from repro.media import AudioObject, ImageObject, VideoObject, get_profile
+from repro.net import FaultInjector, FaultPlan, GilbertElliott
+from repro.streaming import MediaPlayer, MediaServer, PlayerState
+from repro.web import VirtualNetwork
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+PROFILE = get_profile("dsl-256k")
+DURATION = 20.0
+SLIDES = 4
+
+
+def make_asf():
+    per_slide = DURATION / SLIDES
+    return ASFEncoder(EncoderConfig(profile=PROFILE)).encode_file(
+        file_id="lec",
+        video=VideoObject("talk", DURATION, width=320, height=240, fps=10),
+        audio=AudioObject("voice", DURATION),
+        images=[
+            (ImageObject(f"s{i}", per_slide, width=320, height=240),
+             i * per_slide)
+            for i in range(SLIDES)
+        ],
+        commands=slide_commands(
+            [(f"s{i}", i * per_slide) for i in range(SLIDES)]
+        ),
+    )
+
+
+def make_world(asf=None, *, burst_loss=None):
+    net = VirtualNetwork()
+    net.connect("server", "student", bandwidth=2_000_000, delay=0.02)
+    downlink = net.link("server", "student")
+    downlink.rng.seed(1000 + CHAOS_SEED)
+    if burst_loss is not None:
+        downlink.set_loss(burst_loss=burst_loss)
+    server = MediaServer(net, "server", port=8080)
+    server.publish("lecture", asf if asf is not None else make_asf())
+    return net, server
+
+
+def drive(net, player, horizon):
+    """Run to ``horizon``, stopping the player if it never finished (a
+    lossy tail can leave it buffering forever with no recovery)."""
+    net.simulator.run_until(horizon)
+    if player.state is not PlayerState.FINISHED:
+        player.stop()
+    return player.report()
+
+
+def watch(net, server, *, recovery=None, horizon=60.0):
+    player = MediaPlayer(net, "student", recovery=recovery)
+    player.connect(server.url_of("lecture"))
+    player.play()
+    return drive(net, player, horizon)
+
+
+class TestLossyBaseline:
+    def test_burst_loss_permanently_drops_media(self):
+        clean_net, clean_srv = make_world()
+        clean = watch(clean_net, clean_srv)
+        assert clean.media_bytes > 0
+
+        lossy_net, lossy_srv = make_world(
+            burst_loss=GilbertElliott.from_average(0.05, mean_burst=5.0)
+        )
+        lossy = watch(lossy_net, lossy_srv)
+        # no recovery: every burst is a permanent hole in the media
+        assert lossy.media_bytes < clean.media_bytes
+        assert any(rate > 0 for rate in lossy.loss_rates.values())
+        # and the player never even tried to repair anything
+        assert "naks_sent" not in lossy.recovery
+        assert lossy.recovery.get("reconnects", 0) == 0
+
+    def test_stored_file_commands_survive_loss(self):
+        net, server = make_world(
+            burst_loss=GilbertElliott.from_average(0.05, mean_burst=5.0)
+        )
+        report = watch(net, server)
+        # the command table rides the header over reliable HTTP, so slide
+        # changes fire even while the media path is dropping packets
+        fired = [c.command.parameter for c in report.slide_changes()]
+        assert fired == [f"s{i}" for i in range(SLIDES)]
+
+    def test_live_slide_lost_during_outage_without_recovery(self):
+        net = VirtualNetwork()
+        net.connect("server", "student", bandwidth=2_000_000, delay=0.02)
+        server = MediaServer(net, "server", port=8080)
+        capture = LiveCaptureSession(
+            net.simulator, get_profile("isdn-dual"), chunk=0.5
+        )
+        server.publish("live", capture.stream)
+        # scripted one-directional outage over the second slide change:
+        # deterministic, independent of any loss RNG
+        FaultInjector(net).apply(
+            FaultPlan("outage").link_down(
+                "server", "student", at=4.8, until=5.8, both=False
+            )
+        )
+
+        player = MediaPlayer(net, "student", preroll_override=1.0)
+        player.connect(server.url_of("live"))
+        player.play()
+        capture.advance_slide("intro")
+        net.simulator.run_until(5.0)
+        capture.advance_slide("mid")  # transmitted into the dead window
+        net.simulator.run_until(9.0)
+        capture.advance_slide("wrap")
+        net.simulator.run_until(14.0)
+        capture.finish()
+        player.mark_stream_ended()
+        net.simulator.run_until(16.0)
+        player.stop()
+
+        fired = [c.command.parameter for c in player.report().commands]
+        assert "intro" in fired and "wrap" in fired
+        # the inline command died with the link; nothing ever re-sends it
+        assert "mid" not in fired
+        assert net.link("server", "student").stats.dropped_down > 0
