@@ -1,0 +1,241 @@
+"""Publish-scale bench — the parallel publish pipeline end to end.
+
+Publishes the full **levels × renditions** grid of one lecture three ways:
+
+* **serial** — ``EncodeFarm(0)``, the deterministic in-process baseline;
+* **farm** — a warmed ``spawn`` pool of ``WORKERS`` workers, no cache;
+* **farm + reuse** — same farm with a segment-level ``EncodeCache``:
+  a clean republish and a one-slide-edited republish measure how much of
+  the grid is re-encoded.
+
+Emits ``BENCH_publish_scale.json`` at the repo root and asserts the
+headline targets: the farm output is **byte-identical** to serial on
+every grid cell, parallel publish is >= 2x faster at >= 4 workers, and
+segment reuse cuts encodes by >= 50% on a one-slide-changed republish.
+
+**Cost model disclosure.** The repository's codecs are parametric
+simulations whose CPU cost is near zero by construction, so raw wall
+time would measure only Python bookkeeping. Each encode job therefore
+carries ``simulated_cost`` — modeled encoder latency proportional to the
+media seconds encoded (see :mod:`repro.asf.farm`) — which shapes
+scheduling but never output bytes. The byte-identity and encode-count
+results are exact regardless; the speedup quantifies scheduling over the
+declared latency model. ``BENCH_PUBLISH_SMOKE=1`` shrinks the grid and
+the latency model for CI smoke runs.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks._harness import run_once
+
+from repro.asf import EncodeCache, EncodeFarm
+from repro.lod import Lecture, LODPublisher
+from repro.lod.lecture import LectureSegment
+from repro.media import get_profile
+from repro.media.objects import ImageObject
+from repro.metrics import format_table
+
+SMOKE = os.environ.get("BENCH_PUBLISH_SMOKE", "") not in ("", "0")
+WORKERS = 4
+if SMOKE:
+    DURATIONS = [20, 10, 15, 5]
+    IMPORTANCES = [0, 1, 0, 1]  # 2 levels
+    RENDITIONS = ["modem-56k", "dsl-256k"]
+    COST_PER_MEDIA_SECOND = 0.008
+    TARGET_SPEEDUP = 1.3  # smoke grids are small; CI boxes are noisy
+else:
+    DURATIONS = [20, 10, 15, 5, 20, 10, 15, 5]
+    IMPORTANCES = [0, 1, 2, 3, 0, 1, 2, 3]  # 4 levels
+    RENDITIONS = ["modem-56k", "dsl-256k", "lan-1m"]
+    COST_PER_MEDIA_SECOND = 0.012
+    TARGET_SPEEDUP = 2.0
+
+
+def make_lecture():
+    return Lecture.from_slide_durations(
+        "Publish Scale Lecture", "Prof", DURATIONS,
+        importances=IMPORTANCES, slide_width=320, slide_height=240,
+    )
+
+
+def edit_first_slide(lecture):
+    """The republish-after-editing workflow: one slide image replaced."""
+    segments = []
+    for i, s in enumerate(lecture.segments):
+        slide = s.slide
+        if i == 0:
+            slide = ImageObject(
+                "slide0-fixed", s.duration, width=slide.width,
+                height=slide.height,
+            )
+        segments.append(
+            LectureSegment(s.name, slide, s.start, s.duration, s.importance)
+        )
+    return Lecture(
+        title=lecture.title, author=lecture.author, video=lecture.video,
+        audio=lecture.audio, segments=segments,
+    )
+
+
+def make_publisher(farm=None, cache=None):
+    return LODPublisher(
+        renditions=[get_profile(name) for name in RENDITIONS],
+        farm=farm,
+        cache=cache,
+        simulated_cost_per_second=COST_PER_MEDIA_SECOND,
+    )
+
+
+def grid_bytes(result):
+    return {key: v.asf.pack() for key, v in result.variants.items()}
+
+
+class TestPublishScale:
+    def test_bench_serial_vs_farm(self, benchmark):
+        lecture = make_lecture()
+
+        def publish_both_ways():
+            serial_pub = make_publisher()
+            t0 = time.perf_counter()
+            serial = serial_pub.publish(lecture, "grid")
+            serial_wall = time.perf_counter() - t0
+
+            with EncodeFarm(WORKERS) as farm:
+                farm.warm_up()  # pool start-up is a one-time service cost
+                farm_pub = make_publisher(farm=farm)
+                t0 = time.perf_counter()
+                parallel = farm_pub.publish(lecture, "grid")
+                farm_wall = time.perf_counter() - t0
+            return serial, serial_wall, parallel, farm_wall
+
+        serial, serial_wall, parallel, farm_wall = run_once(
+            benchmark, publish_both_ways
+        )
+        identical = grid_bytes(serial) == grid_bytes(parallel)
+        speedup = serial_wall / max(farm_wall, 1e-9)
+        print(
+            f"\n[publish] {len(serial.levels)} levels x "
+            f"{len(RENDITIONS)} renditions "
+            f"({serial.jobs_submitted} jobs, "
+            f"{serial.encodes_performed} distinct encodes):"
+        )
+        print(format_table(
+            ["mode", "workers", "wall (s)", "encodes", "dedup hits"],
+            [
+                ["serial", 0, f"{serial_wall:.3f}",
+                 serial.encodes_performed, serial.dedup_hits],
+                ["farm", WORKERS, f"{farm_wall:.3f}",
+                 parallel.encodes_performed, parallel.dedup_hits],
+            ],
+        ))
+        print(f"[publish] speedup {speedup:.2f}x, byte-identical: {identical}")
+        assert identical  # the hard guarantee, on every grid cell
+        assert parallel.encodes_performed == serial.encodes_performed
+        assert speedup >= TARGET_SPEEDUP
+        _emit(grid={
+            "levels": list(serial.levels),
+            "renditions": RENDITIONS,
+            "jobs_submitted": serial.jobs_submitted,
+            "encodes_performed": serial.encodes_performed,
+            "dedup_hits": serial.dedup_hits,
+            "serial_wall_s": serial_wall,
+            "farm_wall_s": farm_wall,
+            "workers": WORKERS,
+            "speedup": speedup,
+            "byte_identical": identical,
+        })
+
+    def test_bench_segment_reuse(self, benchmark):
+        lecture = make_lecture()
+
+        def publish_republish_edit():
+            cache = EncodeCache()
+            with EncodeFarm(WORKERS, cache=cache) as farm:
+                farm.warm_up()
+                publisher = make_publisher(farm=farm, cache=cache)
+                t0 = time.perf_counter()
+                first = publisher.publish(lecture, "grid")
+                first_wall = time.perf_counter() - t0
+
+                t0 = time.perf_counter()
+                republish = publisher.publish(lecture, "grid")
+                republish_wall = time.perf_counter() - t0
+
+                edited = edit_first_slide(lecture)
+                t0 = time.perf_counter()
+                delta = publisher.publish(edited, "grid-v2")
+                delta_wall = time.perf_counter() - t0
+            return (
+                cache, first, first_wall, republish, republish_wall,
+                delta, delta_wall,
+            )
+
+        (cache, first, first_wall, republish, republish_wall,
+         delta, delta_wall) = run_once(benchmark, publish_republish_edit)
+        lookups = cache.segment_hits + cache.segment_misses
+        hit_rate = cache.segment_hits / max(lookups, 1)
+        encode_cut = 1 - delta.encodes_performed / max(
+            first.encodes_performed, 1
+        )
+        print("\n[publish] segment-level reuse across republishes:")
+        print(format_table(
+            ["publish", "wall (s)", "encodes", "cache hits"],
+            [
+                ["cold grid", f"{first_wall:.3f}",
+                 first.encodes_performed, first.cache_hits],
+                ["identical republish", f"{republish_wall:.3f}",
+                 republish.encodes_performed, republish.cache_hits],
+                ["one slide edited", f"{delta_wall:.3f}",
+                 delta.encodes_performed, delta.cache_hits],
+            ],
+        ))
+        print(
+            f"[publish] segment hit rate {hit_rate:.1%}, "
+            f"edit republish cuts encodes by {encode_cut:.1%}"
+        )
+        assert republish.encodes_performed == 0
+        assert encode_cut >= 0.5  # the headline reuse target
+        assert delta.encodes_performed == 1  # exactly the edited slide
+        _emit(reuse={
+            "first_wall_s": first_wall,
+            "first_encodes": first.encodes_performed,
+            "republish_wall_s": republish_wall,
+            "republish_encodes": republish.encodes_performed,
+            "edit_wall_s": delta_wall,
+            "edit_encodes": delta.encodes_performed,
+            "encode_cut": encode_cut,
+            "segment_hit_rate": hit_rate,
+            "segment_hits": cache.segment_hits,
+            "segment_misses": cache.segment_misses,
+            "bytes_saved": cache.bytes_saved,
+        })
+
+
+def _emit(**section):
+    """Merge a result section into BENCH_publish_scale.json at repo root."""
+    path = Path(__file__).resolve().parent.parent / "BENCH_publish_scale.json"
+    payload = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            payload = {}
+    payload.update(section)
+    payload["config"] = {
+        "slides": len(DURATIONS),
+        "lecture_seconds": float(sum(DURATIONS)),
+        "levels": max(IMPORTANCES) + 1,
+        "renditions": RENDITIONS,
+        "workers": WORKERS,
+        "simulated_cost_per_media_second": COST_PER_MEDIA_SECOND,
+        "cost_model": (
+            "encode latency modeled as simulated_cost per media-second; "
+            "shapes scheduling only, never output bytes"
+        ),
+        "cpu_count": os.cpu_count(),
+        "smoke": SMOKE,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -14,6 +14,16 @@ from .constants import (
 )
 from .drm import DRMError, DRMInfo, License, LicenseServer, scramble
 from .encoder import ASFEncoder, EncodeCache, EncoderConfig, LiveEncoderSession
+from .farm import (
+    JOB_AUDIO,
+    JOB_IMAGE,
+    JOB_VIDEO,
+    START_METHOD,
+    EncodeFarm,
+    EncodeJob,
+    FarmError,
+    run_encode_job,
+)
 from .header import FileProperties, HeaderObject, StreamProperties
 from .indexer import IndexEntry, SimpleIndex, add_script_commands
 from .packets import (
@@ -24,6 +34,7 @@ from .packets import (
     Packetizer,
     Payload,
     command_from_unit,
+    concat_unit_lists,
     units_from_commands,
     units_from_encoded,
 )
@@ -44,15 +55,17 @@ from .stream import ASFFile, ASFLiveStream
 __all__ = [
     "ASFEncoder", "ASFError", "ASFFile", "ASFLiveStream", "DEFAULT_PACKET_SIZE",
     "DRMError", "DRMInfo", "DataPacket", "Depacketizer", "EncodeCache",
-    "EncoderConfig",
+    "EncodeFarm", "EncodeJob", "EncoderConfig", "FarmError",
     "FLAG_BROADCAST", "FLAG_DRM_PROTECTED", "FLAG_SEEKABLE", "FileProperties",
-    "HeaderObject", "IndexEntry", "License", "LicenseServer",
+    "HeaderObject", "IndexEntry", "JOB_AUDIO", "JOB_IMAGE", "JOB_VIDEO",
+    "License", "LicenseServer",
     "LiveEncoderSession", "LossReport", "MediaUnit", "Packetizer", "Payload",
-    "SCRIPT_STREAM_NUMBER", "STATEFUL_TYPES", "STREAM_TYPE_AUDIO",
+    "SCRIPT_STREAM_NUMBER", "START_METHOD", "STATEFUL_TYPES",
+    "STREAM_TYPE_AUDIO",
     "STREAM_TYPE_COMMAND", "STREAM_TYPE_IMAGE", "STREAM_TYPE_VIDEO",
     "ScriptCommand", "ScriptCommandDispatcher", "SimpleIndex",
     "StreamProperties", "TYPE_ANNOTATION", "TYPE_CAPTION", "TYPE_FILENAME",
     "TYPE_SLIDE", "TYPE_TREE_LEVEL", "TYPE_URL", "add_script_commands",
-    "command_from_unit", "scramble", "slide_commands", "units_from_commands",
-    "units_from_encoded",
+    "command_from_unit", "concat_unit_lists", "run_encode_job", "scramble",
+    "slide_commands", "units_from_commands", "units_from_encoded",
 ]

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..media.codecs import EncodedStream, ImageCodec
 from ..media.objects import AudioObject, ImageObject, VideoObject
 from ..media.profiles import BandwidthProfile
+from ..metrics.counters import Counters, get_counters
 from .constants import (
     ASFError,
     DEFAULT_PACKET_SIZE,
@@ -36,6 +37,13 @@ from .constants import (
     STREAM_TYPE_VIDEO,
 )
 from .drm import DRMInfo, LicenseServer, scramble
+from .farm import (
+    JOB_AUDIO,
+    JOB_IMAGE,
+    JOB_VIDEO,
+    EncodeFarm,
+    EncodeJob,
+)
 from .header import FileProperties, HeaderObject, StreamProperties
 from .packets import (
     MediaUnit,
@@ -59,39 +67,79 @@ class EncoderConfig:
 
 
 class EncodeCache:
-    """Memoizes :meth:`ASFEncoder.encode_file` outputs — encode once, serve many.
+    """Memoizes encoder outputs at two scopes — encode once, serve many.
 
-    Keyed by the full encoding fingerprint: sources (frozen descriptors),
-    script commands, profile, packet size, preroll, payload mode, and
-    metadata. Repeated encodes of the same lecture/level (the Abstractor
-    replays every level; a catalog republish re-encodes every lecture)
-    return the already-built :class:`~repro.asf.stream.ASFFile` instead of
-    re-running the codec models and packetizer.
+    **File-level** entries (:meth:`lookup` / :meth:`store`) are keyed by
+    the full encoding fingerprint: sources (frozen descriptors), script
+    commands, profile(s), packet size, preroll, payload mode, and metadata.
+    Repeated encodes of the same lecture/level (the Abstractor replays
+    every level; a catalog republish re-encodes every lecture) return the
+    already-built :class:`~repro.asf.stream.ASFFile` instead of re-running
+    the codec models and packetizer. Both :meth:`ASFEncoder.encode_file`
+    and :meth:`ASFEncoder.encode_file_mbr` (rendition-aware key) consult it.
 
-    Entries are shared objects — callers must treat a cached file as
-    immutable published content (the serving stack already does). DRM
-    encodes bypass the cache entirely: license registration is a
-    side-effecting, per-publish step.
+    **Segment-level** entries (:meth:`lookup_segment` / :meth:`store_segment`)
+    are content-addressed :class:`~repro.media.codecs.EncodedStream`
+    results keyed by :meth:`repro.asf.farm.EncodeJob.fingerprint` — source
+    fingerprint, profile, codec + keyframe parameters, payload mode. They
+    make republishing a lecture after editing one slide segment, or
+    publishing abstraction level k after level k+1, encode only the delta.
+
+    Entries are shared objects — callers must treat cached content as
+    immutable published media (the serving stack already does). DRM
+    encodes bypass the cache entirely, at both scopes: license
+    registration is a side-effecting, per-publish step and protected
+    payloads must not leak through a shared cache.
+
+    Hit/miss/eviction and bytes-saved tallies are published to the
+    process-global ``encode_cache`` counter bag
+    (:func:`repro.metrics.counters.get_counters`) for benches and
+    dashboards, alongside the per-instance attributes.
     """
 
-    def __init__(self, max_entries: int = 32) -> None:
-        if max_entries <= 0:
+    def __init__(
+        self,
+        max_entries: int = 32,
+        *,
+        max_segment_entries: int = 512,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        if max_entries <= 0 or max_segment_entries <= 0:
             raise ASFError("cache needs at least one entry")
         self.max_entries = max_entries
+        self.max_segment_entries = max_segment_entries
         self._entries: "OrderedDict[tuple, ASFFile]" = OrderedDict()
+        self._segments: "OrderedDict[tuple, EncodedStream]" = OrderedDict()
+        self.counters = counters if counters is not None else get_counters("encode_cache")
         self.hits = 0
         self.misses = 0
+        self.segment_hits = 0
+        self.segment_misses = 0
+        self.evictions = 0
+        self.bytes_saved = 0
 
     def __len__(self) -> int:
+        """Number of file-level entries (segment entries: :attr:`segment_count`)."""
         return len(self._entries)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    # -- file scope ----------------------------------------------------
 
     def lookup(self, key: tuple) -> Optional[ASFFile]:
         cached = self._entries.get(key)
         if cached is None:
             self.misses += 1
+            self.counters.inc("file_misses")
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        self.counters.inc("file_hits")
+        saved = sum(p.packet_size for p in cached.packets)
+        self.bytes_saved += saved
+        self.counters.inc("bytes_saved", saved)
         return cached
 
     def store(self, key: tuple, asf: ASFFile) -> ASFFile:
@@ -99,20 +147,66 @@ class EncodeCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            self.counters.inc("file_evictions")
         return asf
+
+    # -- segment scope -------------------------------------------------
+
+    def lookup_segment(self, key: tuple) -> Optional[EncodedStream]:
+        cached = self._segments.get(key)
+        if cached is None:
+            self.segment_misses += 1
+            self.counters.inc("segment_misses")
+            return None
+        self._segments.move_to_end(key)
+        self.segment_hits += 1
+        self.counters.inc("segment_hits")
+        self.bytes_saved += cached.total_size
+        self.counters.inc("bytes_saved", cached.total_size)
+        return cached
+
+    def store_segment(self, key: tuple, stream: EncodedStream) -> EncodedStream:
+        self._segments[key] = stream
+        self._segments.move_to_end(key)
+        while len(self._segments) > self.max_segment_entries:
+            self._segments.popitem(last=False)
+            self.evictions += 1
+            self.counters.inc("segment_evictions")
+        return stream
 
     def clear(self) -> None:
         self._entries.clear()
+        self._segments.clear()
 
 
 class ASFEncoder:
-    """Builds ASF content from media sources under a bandwidth profile."""
+    """Builds ASF content from media sources under a bandwidth profile.
+
+    Every codec run goes through an :class:`~repro.asf.farm.EncodeFarm`:
+    the default is a private serial farm (``workers=0`` — no
+    multiprocessing machinery at all), and passing a parallel ``farm``
+    spreads independent encodes (MBR renditions, slide images) across
+    worker processes with byte-identical output — the farm merges worker
+    results in rank order and stream numbering/packetization happen here,
+    downstream of the merge. A farm given without its own cache adopts
+    this encoder's ``cache`` so segment-level reuse stays on.
+    """
 
     def __init__(
-        self, config: EncoderConfig, *, cache: Optional[EncodeCache] = None
+        self,
+        config: EncoderConfig,
+        *,
+        cache: Optional[EncodeCache] = None,
+        farm: Optional[EncodeFarm] = None,
     ) -> None:
         self.config = config
         self.cache = cache
+        if farm is None:
+            farm = EncodeFarm(0, cache=cache)
+        elif farm.cache is None and cache is not None:
+            farm.cache = cache
+        self.farm = farm
         self._next_stream = itertools.count(1)
         self._image_codec = ImageCodec()
 
@@ -138,55 +232,116 @@ class ASFEncoder:
             tuple(sorted(self.config.metadata.items())),
         )
 
+    def _cache_key_mbr(
+        self,
+        file_id: str,
+        video: VideoObject,
+        audio: Optional[AudioObject],
+        images: Sequence[Tuple[ImageObject, float]],
+        commands: Sequence[ScriptCommand],
+        ordered: Sequence[BandwidthProfile],
+    ) -> tuple:
+        """Rendition-aware key for :meth:`encode_file_mbr` outputs."""
+        return (
+            "mbr",
+            file_id,
+            video,
+            audio,
+            tuple(images),
+            tuple(commands),
+            tuple(ordered),
+            self.config.packet_size,
+            self.config.preroll_ms,
+            self.config.with_data,
+            tuple(sorted(self.config.metadata.items())),
+        )
+
     # ------------------------------------------------------------------
 
-    def _encode_sources(
+    def _job(self, kind: str, media, profile: Optional[BandwidthProfile] = None) -> EncodeJob:
+        return EncodeJob(
+            kind,
+            media,
+            profile=profile,
+            with_data=self.config.with_data,
+            image_codec=self._image_codec if kind == JOB_IMAGE else None,
+        )
+
+    def _assemble_sources(
         self,
         video: Optional[VideoObject],
         audio: Optional[AudioObject],
         images: Sequence[Tuple[ImageObject, float]],
+        encoded: Sequence[EncodedStream],
+        *,
+        video_profiles: Optional[Sequence[BandwidthProfile]] = None,
     ) -> Tuple[List[StreamProperties], List[List[MediaUnit]], float]:
-        """Encode all sources; returns (stream table, unit lists, duration)."""
+        """Turn farm results into (stream table, unit lists, duration).
+
+        ``encoded`` must match the job submission order: one entry per
+        video profile (``video_profiles``, or the config profile), then
+        audio, then one per image. Stream numbers are assigned here, in
+        that fixed order — identical for serial and parallel encodes.
+        """
         profile = self.config.profile
         streams: List[StreamProperties] = []
         unit_lists: List[List[MediaUnit]] = []
         duration = 0.0
+        cursor = iter(encoded)
 
         if video is not None:
-            number = next(self._next_stream)
-            encoded = profile.encode_video(video, with_data=self.config.with_data)
-            streams.append(
-                StreamProperties(
-                    number,
-                    STREAM_TYPE_VIDEO,
-                    codec=profile.video_codec,
-                    bitrate=encoded.bitrate,
-                    name=video.name,
-                    extra={
-                        "width": str(profile.configure_video(video).width),
-                        "height": str(profile.configure_video(video).height),
-                        "fps": str(profile.configure_video(video).fps),
-                        "quality": f"{encoded.quality:.4f}",
-                    },
+            profiles = list(video_profiles) if video_profiles else [profile]
+            mbr = len(profiles) > 1
+            for rank, video_profile in enumerate(profiles):
+                number = next(self._next_stream)
+                enc = next(cursor)
+                scaled = video_profile.configure_video(video)
+                extra = {
+                    "width": str(scaled.width),
+                    "height": str(scaled.height),
+                    "quality": f"{enc.quality:.4f}",
+                }
+                if mbr:
+                    extra.update(
+                        mbr_group="video",
+                        mbr_rank=str(rank),
+                        profile=video_profile.name,
+                    )
+                    name = f"{video.name}@{video_profile.name}"
+                else:
+                    extra["fps"] = str(scaled.fps)
+                    name = video.name
+                streams.append(
+                    StreamProperties(
+                        number,
+                        STREAM_TYPE_VIDEO,
+                        codec=video_profile.video_codec,
+                        bitrate=enc.bitrate,
+                        name=name,
+                        extra=extra,
+                    )
                 )
-            )
-            unit_lists.append(units_from_encoded(number, encoded))
+                unit_lists.append(units_from_encoded(number, enc))
             duration = max(duration, video.duration)
 
         if audio is not None:
+            audio_profile = (
+                list(video_profiles)[0] if video_profiles else profile
+            )
             number = next(self._next_stream)
-            encoded = profile.encode_audio(audio, with_data=self.config.with_data)
+            enc = next(cursor)
+            extra = {} if video_profiles else {"quality": f"{enc.quality:.4f}"}
             streams.append(
                 StreamProperties(
                     number,
                     STREAM_TYPE_AUDIO,
-                    codec=profile.audio_codec,
-                    bitrate=encoded.bitrate,
+                    codec=audio_profile.audio_codec,
+                    bitrate=enc.bitrate,
                     name=audio.name,
-                    extra={"quality": f"{encoded.quality:.4f}"},
+                    extra=extra,
                 )
             )
-            unit_lists.append(units_from_encoded(number, encoded))
+            unit_lists.append(units_from_encoded(number, enc))
             duration = max(duration, audio.duration)
 
         if images:
@@ -194,10 +349,8 @@ class ASFEncoder:
             units: List[MediaUnit] = []
             total_size = 0
             for object_number, (image, show_at) in enumerate(images):
-                encoded = self._image_codec.encode(
-                    image, with_data=self.config.with_data
-                )
-                unit = units_from_encoded(number, encoded)[0]
+                enc = next(cursor)
+                unit = units_from_encoded(number, enc)[0]
                 units.append(
                     MediaUnit(
                         number,
@@ -262,13 +415,23 @@ class ASFEncoder:
         """Encode sources into a stored, indexed .asf file."""
         if video is None and audio is None and not images:
             raise ASFError("nothing to encode")
+        command_list = sorted(commands)
         cache_key: Optional[tuple] = None
         if self.cache is not None and license_server is None:
-            cache_key = self._cache_key(file_id, video, audio, images, sorted(commands))
+            cache_key = self._cache_key(file_id, video, audio, images, command_list)
             cached = self.cache.lookup(cache_key)
             if cached is not None:
                 return cached
-        streams, unit_lists, duration = self._encode_sources(video, audio, images)
+        jobs: List[EncodeJob] = []
+        if video is not None:
+            jobs.append(self._job(JOB_VIDEO, video, self.config.profile))
+        if audio is not None:
+            jobs.append(self._job(JOB_AUDIO, audio, self.config.profile))
+        jobs.extend(self._job(JOB_IMAGE, image) for image, _ in images)
+        encoded = self.farm.encode_batch(jobs, use_cache=license_server is None)
+        streams, unit_lists, duration = self._assemble_sources(
+            video, audio, images, encoded
+        )
         flags = 0
         drm: Optional[DRMInfo] = None
         if license_server is not None:
@@ -277,7 +440,6 @@ class ASFEncoder:
             drm = DRMInfo(content_id=file_id)
             flags |= FLAG_DRM_PROTECTED
 
-        command_list = sorted(commands)
         if command_list:
             streams.append(self._command_stream_properties())
             unit_lists.append(units_from_commands(command_list))
@@ -325,71 +487,35 @@ class ASFEncoder:
         stream at the *first* profile's audio settings. A server delivers
         exactly one video rendition per client, picked to fit the client's
         link — see :meth:`repro.streaming.server.MediaServer.open_session`.
+
+        Non-DRM output is memoized in the attached :class:`EncodeCache`
+        under a rendition-aware key; per-rendition video encodes are
+        independent farm jobs, so a parallel farm encodes the whole ladder
+        concurrently with byte-identical results.
         """
         if not renditions:
             raise ASFError("MBR encoding needs at least one rendition")
-        streams: List[StreamProperties] = []
-        unit_lists: List[List[MediaUnit]] = []
-        duration = video.duration
-
         ordered = sorted(renditions, key=lambda p: p.video_bitrate)
-        for rank, profile in enumerate(ordered):
-            number = next(self._next_stream)
-            encoded = profile.encode_video(video, with_data=self.config.with_data)
-            scaled = profile.configure_video(video)
-            streams.append(
-                StreamProperties(
-                    number,
-                    STREAM_TYPE_VIDEO,
-                    codec=profile.video_codec,
-                    bitrate=encoded.bitrate,
-                    name=f"{video.name}@{profile.name}",
-                    extra={
-                        "mbr_group": "video",
-                        "mbr_rank": str(rank),
-                        "profile": profile.name,
-                        "width": str(scaled.width),
-                        "height": str(scaled.height),
-                        "quality": f"{encoded.quality:.4f}",
-                    },
-                )
+        command_list = sorted(commands)
+        cache_key: Optional[tuple] = None
+        if self.cache is not None and license_server is None:
+            cache_key = self._cache_key_mbr(
+                file_id, video, audio, images, command_list, ordered
             )
-            unit_lists.append(units_from_encoded(number, encoded))
+            cached = self.cache.lookup(cache_key)
+            if cached is not None:
+                return cached
 
+        jobs: List[EncodeJob] = [
+            self._job(JOB_VIDEO, video, profile) for profile in ordered
+        ]
         if audio is not None:
-            number = next(self._next_stream)
-            encoded = ordered[0].encode_audio(audio, with_data=self.config.with_data)
-            streams.append(
-                StreamProperties(
-                    number, STREAM_TYPE_AUDIO, codec=ordered[0].audio_codec,
-                    bitrate=encoded.bitrate, name=audio.name,
-                )
-            )
-            unit_lists.append(units_from_encoded(number, encoded))
-            duration = max(duration, audio.duration)
-
-        if images:
-            number = next(self._next_stream)
-            units: List[MediaUnit] = []
-            total = 0
-            for object_number, (image, show_at) in enumerate(images):
-                encoded = self._image_codec.encode(
-                    image, with_data=self.config.with_data
-                )
-                blob = units_from_encoded(number, encoded)[0]
-                units.append(
-                    MediaUnit(number, object_number, round(show_at * 1000),
-                              True, blob.data)
-                )
-                total += len(blob.data)
-                duration = max(duration, show_at + image.duration)
-            streams.append(
-                StreamProperties(
-                    number, STREAM_TYPE_IMAGE, codec=self._image_codec.name,
-                    bitrate=total * 8 / max(duration, 1e-9), name="slides",
-                )
-            )
-            unit_lists.append(units)
+            jobs.append(self._job(JOB_AUDIO, audio, ordered[0]))
+        jobs.extend(self._job(JOB_IMAGE, image) for image, _ in images)
+        encoded = self.farm.encode_batch(jobs, use_cache=license_server is None)
+        streams, unit_lists, duration = self._assemble_sources(
+            video, audio, images, encoded, video_profiles=ordered
+        )
 
         flags = 0
         drm: Optional[DRMInfo] = None
@@ -399,7 +525,6 @@ class ASFEncoder:
             drm = DRMInfo(content_id=file_id)
             flags |= FLAG_DRM_PROTECTED
 
-        command_list = sorted(commands)
         if command_list:
             streams.append(self._command_stream_properties())
             unit_lists.append(units_from_commands(command_list))
@@ -424,6 +549,8 @@ class ASFEncoder:
         )
         asf = ASFFile(header=header, packets=packetizer.packetize(unit_lists))
         asf.ensure_index()
+        if cache_key is not None:
+            self.cache.store(cache_key, asf)
         return asf
 
     def start_live(

@@ -1,0 +1,262 @@
+"""The encode farm — parallel, reuse-aware encoding for the publish pipeline.
+
+The paper's publishing workflow (§2.1, §2.5) turns one lecture into many
+artifacts: one ASF per bandwidth profile ("Intelligent Streaming"
+renditions) × one per content-tree abstraction level (§2.3–§2.4, the
+Abstractor's multi-length presentations). Every one of those encodes is an
+independent, pure function of (source media, profile, codec parameters) —
+exactly the shape that fans out across worker processes and deduplicates
+by content.
+
+Two layers live here:
+
+* :class:`EncodeJob` — a frozen, picklable description of one codec run.
+  Its :meth:`~EncodeJob.fingerprint` is a content address: equal
+  fingerprints guarantee byte-identical :class:`~repro.media.codecs.EncodedStream`
+  outputs, because every codec in :mod:`repro.media.codecs` is a
+  deterministic function of its inputs.
+* :class:`EncodeFarm` — runs batches of jobs. ``workers=0`` (the default)
+  is a strictly serial in-process path that touches **zero**
+  multiprocessing machinery, keeping simulator/chaos runs deterministic;
+  ``workers=N`` fans the batch across a ``multiprocessing`` pool using the
+  pinned ``spawn`` start method (identical semantics on every platform and
+  Python version). Results are merged in submission (rank) order, so the
+  parallel path is **byte-identical** to the serial one — stream-number
+  assignment and packetization stay in the caller, downstream of the merge.
+
+Reuse happens at two scopes, both before any worker is consulted:
+
+* **within a batch** — identical fingerprints submitted together are
+  encoded once (publishing abstraction level k alongside level k+1 shares
+  every common segment);
+* **across batches** — when an :class:`~repro.asf.encoder.EncodeCache` is
+  attached, its segment-level entries persist results keyed by
+  fingerprint, so republishing a lecture after editing one slide segment
+  only encodes the delta.
+
+The farm tallies ``jobs``, ``encodes``, ``dedup_hits``, ``cache_hits`` and
+``parallel_batches`` into the process-global ``encode_farm`` counter bag
+(:func:`repro.metrics.counters.get_counters`).
+
+``simulated_cost`` models wall-clock codec latency (seconds a real encoder
+of the paper's era would burn on the job). The parametric codec models in
+this repository are intentionally near-free to execute, which would make a
+scheduling benchmark measure nothing; jobs carry an explicit latency model
+instead, and it never affects output bytes. Production paths leave it 0.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..media.codecs import EncodedStream, ImageCodec, get_codec
+from ..media.objects import AudioObject, ImageObject, MediaObject, VideoObject
+from ..media.profiles import BandwidthProfile
+from ..metrics.counters import Counters, get_counters
+from .constants import ASFError
+
+#: Pinned multiprocessing start method. ``spawn`` gives identical worker
+#: initialization on every platform and Python version (3.9 and 3.12 CI
+#: lanes included); ``fork`` would be faster on Linux but inherits parent
+#: state, which is exactly the nondeterminism the farm is built to exclude.
+START_METHOD = "spawn"
+
+JOB_VIDEO = "video"
+JOB_AUDIO = "audio"
+JOB_IMAGE = "image"
+
+
+class FarmError(ASFError):
+    """Encode-farm misuse."""
+
+
+@dataclass(frozen=True)
+class EncodeJob:
+    """One codec run, described by value: picklable, hashable, pure.
+
+    ``kind`` selects the codec path: ``"video"``/``"audio"`` need a
+    :class:`~repro.media.profiles.BandwidthProfile`, ``"image"`` an
+    :class:`~repro.media.codecs.ImageCodec` (defaults to the standard slide
+    compressor). ``simulated_cost`` is modeled encoder latency in seconds —
+    it shapes scheduling, never output bytes, and is excluded from the
+    fingerprint.
+    """
+
+    kind: str
+    media: MediaObject
+    profile: Optional[BandwidthProfile] = None
+    with_data: bool = False
+    image_codec: Optional[ImageCodec] = None
+    simulated_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (JOB_VIDEO, JOB_AUDIO, JOB_IMAGE):
+            raise FarmError(f"unknown job kind {self.kind!r}")
+        if self.kind in (JOB_VIDEO, JOB_AUDIO) and self.profile is None:
+            raise FarmError(f"{self.kind} job needs a bandwidth profile")
+        if self.simulated_cost < 0:
+            raise FarmError("simulated_cost must be >= 0")
+
+    def _codec_fingerprint(self) -> tuple:
+        if self.kind == JOB_VIDEO:
+            return get_codec(self.profile.video_codec).fingerprint()
+        if self.kind == JOB_AUDIO:
+            return get_codec(self.profile.audio_codec).fingerprint()
+        return (self.image_codec or ImageCodec()).fingerprint()
+
+    def fingerprint(self) -> tuple:
+        """Content address: everything that can change the encoded bytes.
+
+        Source descriptor (the synthetic media's full identity, seed
+        included), profile, codec identity + keyframe/GOP parameters, and
+        the payload mode. Deliberately excludes ``simulated_cost``.
+        """
+        return (
+            self.kind,
+            self.media,
+            self.profile,
+            self._codec_fingerprint(),
+            self.with_data,
+        )
+
+
+def run_encode_job(job: EncodeJob) -> EncodedStream:
+    """Execute one job — the worker entry point (top-level for pickling)."""
+    if job.simulated_cost > 0:
+        time.sleep(job.simulated_cost)
+    if job.kind == JOB_VIDEO:
+        return job.profile.encode_video(job.media, with_data=job.with_data)
+    if job.kind == JOB_AUDIO:
+        return job.profile.encode_audio(job.media, with_data=job.with_data)
+    return (job.image_codec or ImageCodec()).encode(
+        job.media, with_data=job.with_data
+    )
+
+
+class EncodeFarm:
+    """Fans independent encode jobs across worker processes, with reuse.
+
+    ``workers=0`` is the deterministic serial fallback: jobs run inline,
+    in order, and no multiprocessing module is even imported. ``workers>0``
+    lazily builds one persistent ``spawn`` pool (first parallel batch pays
+    the worker start-up; later batches reuse it — a publish farm is a
+    long-lived service). :meth:`close` tears the pool down; the farm is a
+    context manager.
+
+    ``cache`` is an :class:`~repro.asf.encoder.EncodeCache` whose
+    segment-level entries persist job results across batches. Pass
+    ``use_cache=False`` to :meth:`encode_batch` to bypass it for a batch
+    (the encoder does this for DRM publishes, which are contractually
+    uncached).
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        *,
+        cache: Optional["EncodeCache"] = None,  # noqa: F821 - forward ref
+        start_method: str = START_METHOD,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        if workers < 0:
+            raise FarmError("workers must be >= 0")
+        self.workers = workers
+        self.cache = cache
+        self.start_method = start_method
+        self.counters = counters if counters is not None else get_counters("encode_farm")
+        self._pool = None
+        # per-instance tallies (the registry bag aggregates across farms)
+        self.encodes_performed = 0
+        self.dedup_hits = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+
+    def encode_batch(
+        self, jobs: Sequence[EncodeJob], *, use_cache: bool = True
+    ) -> List[EncodedStream]:
+        """Encode ``jobs``; result ``i`` corresponds to ``jobs[i]``.
+
+        Cache and within-batch dedup are resolved first; only distinct,
+        uncached fingerprints reach the codec (serially or on the pool).
+        The returned streams are shared objects — treat them as immutable
+        published content, exactly like cached ASF files.
+        """
+        self.counters.inc("jobs", len(jobs))
+        results: List[Optional[EncodedStream]] = [None] * len(jobs)
+        pending: Dict[tuple, List[int]] = {}
+        for i, job in enumerate(jobs):
+            key = job.fingerprint()
+            if key in pending:
+                pending[key].append(i)
+                self.dedup_hits += 1
+                self.counters.inc("dedup_hits")
+                continue
+            if use_cache and self.cache is not None:
+                cached = self.cache.lookup_segment(key)
+                if cached is not None:
+                    results[i] = cached
+                    self.cache_hits += 1
+                    self.counters.inc("cache_hits")
+                    continue
+            pending[key] = [i]
+        unique = [(key, jobs[slots[0]]) for key, slots in pending.items()]
+        encoded = self._run([job for _, job in unique])
+        self.encodes_performed += len(unique)
+        self.counters.inc("encodes", len(unique))
+        for (key, _), stream in zip(unique, encoded):
+            if use_cache and self.cache is not None:
+                self.cache.store_segment(key, stream)
+            for i in pending[key]:
+                results[i] = stream
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+
+    def _run(self, jobs: List[EncodeJob]) -> List[EncodedStream]:
+        if self.workers <= 0 or len(jobs) <= 1:
+            return [run_encode_job(job) for job in jobs]
+        pool = self._ensure_pool()
+        self.counters.inc("parallel_batches")
+        # Pool.map preserves submission order: worker results are merged in
+        # rank order, which is what keeps parallel output byte-identical to
+        # the serial path (stream numbering happens in the caller, after).
+        return pool.map(run_encode_job, jobs, chunksize=1)
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = context.Pool(processes=self.workers)
+        return self._pool
+
+    @property
+    def pool_started(self) -> bool:
+        """True once a worker pool exists (never at ``workers=0``)."""
+        return self._pool is not None
+
+    def warm_up(self) -> None:
+        """Start the pool (if parallel) ahead of the first real batch."""
+        if self.workers > 0:
+            pool = self._ensure_pool()
+            # a no-op round trip proves every worker imported the codebase
+            pool.map(_noop, range(self.workers), chunksize=1)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "EncodeFarm":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _noop(value: int) -> int:
+    return value

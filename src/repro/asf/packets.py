@@ -204,6 +204,36 @@ def units_from_encoded(
     return units
 
 
+def concat_unit_lists(
+    parts: Sequence[Sequence[MediaUnit]], offsets_ms: Sequence[int]
+) -> List[MediaUnit]:
+    """Concatenate per-segment unit lists onto one presentation timeline.
+
+    Each part's timestamps are shifted by its offset and object numbers are
+    renumbered densely across the whole result — the invariant the
+    :class:`Depacketizer` loss report relies on. This is how the publish
+    pipeline assembles a per-level lecture variant from independently
+    encoded (and independently cached) segment streams.
+    """
+    if len(parts) != len(offsets_ms):
+        raise ASFError("concat needs one offset per part")
+    out: List[MediaUnit] = []
+    number = 0
+    for units, offset in zip(parts, offsets_ms):
+        for u in units:
+            out.append(
+                MediaUnit(
+                    u.stream_number,
+                    number,
+                    u.timestamp_ms + offset,
+                    u.keyframe,
+                    u.data,
+                )
+            )
+            number += 1
+    return out
+
+
 def units_from_commands(commands: Sequence[ScriptCommand]) -> List[MediaUnit]:
     """Script commands as payloads of the reserved command stream."""
     return [

@@ -87,6 +87,25 @@ class Abstractor:
         """One summary per level — the "flexible teaching material" view."""
         return [self.at_level(q) for q in range(self.tree.highest_level + 1)]
 
+    def verify_nesting(self) -> None:
+        """Assert the level-nesting invariant the publish pipeline reuses.
+
+        The level-q presentation must be an *order-preserving subset* of the
+        level-(q+1) presentation: "the higher level gives the longer
+        presentation" by adding detail, never by reordering or dropping
+        material. Segment-level encode reuse across abstraction levels
+        (publishing level k after level k+1 encodes only the delta) is
+        sound exactly because of this property.
+        """
+        for level in range(self.tree.highest_level):
+            shorter = [n.name for n in self.tree.presentation_at(level)]
+            longer = iter(n.name for n in self.tree.presentation_at(level + 1))
+            if not all(name in longer for name in shorter):
+                raise ContentTreeError(
+                    f"level {level} is not an order-preserving subset of "
+                    f"level {level + 1}"
+                )
+
 
 def linear_truncation(
     segments: Sequence[Tuple[str, float]], budget: float

@@ -31,8 +31,11 @@ from .playback import (
     replay_all_levels,
 )
 from .publisher import (
+    LODPublisher,
+    LODPublishResult,
     MediaStore,
     PublishedLecture,
+    PublishedVariant,
     PublishFormError,
     WebPublishingManager,
 )
@@ -48,11 +51,13 @@ from .recorder import (
 __all__ = [
     "ACTIONS", "CameraSource", "CatalogError", "Classroom", "ClassroomEvent",
     "Course", "CourseCatalog", "FloorDenied",
-    "InteractionScript", "LODPlayback", "Lecture", "LectureError",
+    "InteractionScript", "LODPlayback", "LODPublishResult", "LODPublisher",
+    "Lecture", "LectureError",
     "LectureRecorder", "LectureSegment", "LevelReplayReport",
     "LiveCaptureSession", "MediaStore", "MicrophoneSource", "ModelRunResult",
     "OrchestrationError", "OrchestrationResult", "Orchestrator",
-    "PublishFormError", "PublishedLecture", "ScriptedAction", "SharedEvent", "SharedViewing",
+    "PublishFormError", "PublishedLecture", "PublishedVariant",
+    "ScriptedAction", "SharedEvent", "SharedViewing",
     "StreamRunResult", "StudentProgress", "SyncAudit", "TimedAnnotation",
     "WebPublishingManager", "apply_to_model", "apply_to_stream",
     "random_script", "replay_all_levels", "verify_orchestration",

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..asf.drm import LicenseServer
 from ..asf.encoder import ASFEncoder, EncodeCache, EncoderConfig
+from ..asf.farm import EncodeFarm
 from ..asf.script_commands import TYPE_SLIDE, ScriptCommand
 from ..asf.stream import ASFFile
 from ..contenttree.serialize import tree_to_json
@@ -61,10 +62,12 @@ class Orchestrator:
         preroll_ms: int = 3_000,
         with_data: bool = False,
         encode_cache: Optional[EncodeCache] = None,
+        farm: Optional[EncodeFarm] = None,
     ) -> None:
         self.profile = profile
         self.license_server = license_server
         self.encode_cache = encode_cache
+        self.farm = farm
         self.config = EncoderConfig(
             profile=profile,
             packet_size=packet_size,
@@ -100,7 +103,7 @@ class Orchestrator:
             "author": lecture.author,
             "segments": str(len(lecture.segments)),
         }
-        encoder = ASFEncoder(self.config, cache=self.encode_cache)
+        encoder = ASFEncoder(self.config, cache=self.encode_cache, farm=self.farm)
         asf = encoder.encode_file(
             file_id=file_id or lecture.title,
             video=lecture.video,

@@ -19,10 +19,31 @@ simulated web:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..asf.constants import (
+    SCRIPT_STREAM_NUMBER,
+    STREAM_TYPE_AUDIO,
+    STREAM_TYPE_COMMAND,
+    STREAM_TYPE_IMAGE,
+    STREAM_TYPE_VIDEO,
+)
 from ..asf.drm import LicenseServer
+from ..asf.encoder import EncodeCache
+from ..asf.farm import JOB_AUDIO, JOB_IMAGE, JOB_VIDEO, EncodeFarm, EncodeJob
+from ..asf.header import FileProperties, HeaderObject, StreamProperties
+from ..asf.packets import (
+    MediaUnit,
+    Packetizer,
+    concat_unit_lists,
+    units_from_commands,
+    units_from_encoded,
+)
+from ..asf.script_commands import TYPE_SLIDE, TYPE_TREE_LEVEL, ScriptCommand
+from ..asf.stream import ASFFile
+from ..contenttree.abstractor import Abstractor
 from ..contenttree.serialize import tree_from_json
+from ..media.codecs import ImageCodec
 from ..media.objects import ImageObject, VideoObject
 from ..media.profiles import PROFILE_BY_NAME, BandwidthProfile, get_profile
 from ..streaming.server import MediaServer
@@ -120,11 +141,15 @@ class WebPublishingManager:
         *,
         license_server: Optional[LicenseServer] = None,
         default_profile: str = "dsl-256k",
+        encode_cache: Optional[EncodeCache] = None,
+        farm: Optional[EncodeFarm] = None,
     ) -> None:
         self.media_server = media_server
         self.store = store
         self.license_server = license_server
         self.default_profile = default_profile
+        self.encode_cache = encode_cache
+        self.farm = farm
         self.published: Dict[str, PublishedLecture] = {}
         media_server.http.route("POST", "/publish", self._handle_publish_form)
         media_server.http.route("GET", "/publish", self._handle_form_page)
@@ -158,6 +183,8 @@ class WebPublishingManager:
         orchestrator = Orchestrator(
             get_profile(profile_name),
             license_server=self.license_server if protect else None,
+            encode_cache=self.encode_cache,
+            farm=self.farm,
         )
         result = orchestrator.orchestrate(lecture, file_id=point)
         self.media_server.publish(point, result.asf, description=lecture.title)
@@ -245,3 +272,392 @@ class WebPublishingManager:
 
         page = render_catalog(self._catalog_entries())
         return HTTPResponse(200, body=page, headers={"Content-Type": "text/html"})
+
+
+# ----------------------------------------------------------------------
+# Level-on-demand grid publishing (levels × renditions)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PublishedVariant:
+    """One cell of the L×B publish grid: a level at a rendition."""
+
+    point: str
+    url: str
+    level: int
+    profile: str
+    asf: ASFFile
+    segments: Tuple[str, ...]
+
+    @property
+    def duration(self) -> float:
+        return self.asf.duration
+
+
+@dataclass
+class LODPublishResult:
+    """Everything one grid publish produced, plus its work accounting."""
+
+    point: str
+    title: str
+    levels: Tuple[int, ...]
+    profiles: Tuple[str, ...]
+    variants: Dict[Tuple[int, str], PublishedVariant]
+    jobs_submitted: int
+    encodes_performed: int
+    dedup_hits: int
+    cache_hits: int
+
+    def variant(self, level: int, profile: str) -> PublishedVariant:
+        key = (level, profile)
+        if key not in self.variants:
+            raise LectureError(
+                f"no variant at level {level} / profile {profile!r}; "
+                f"published: {sorted(self.variants)}"
+            )
+        return self.variants[key]
+
+
+@dataclass
+class _VariantPlan:
+    """Index bookkeeping tying one grid cell to its slots in the job batch."""
+
+    level: int
+    profile: BandwidthProfile
+    segments: List[LectureSegment]
+    video_idx: List[int] = field(default_factory=list)
+    audio_idx: List[int] = field(default_factory=list)
+    image_idx: List[int] = field(default_factory=list)
+
+
+class LODPublisher:
+    """Publishes the full **levels × renditions** grid of a lecture.
+
+    The paper's system serves "lectures on demand" at multiple abstraction
+    levels (§2.3–§2.4) and multiple bandwidths (§2.5). This publisher
+    materializes that whole matrix: for every content-tree level ``q`` and
+    every rendition profile ``b`` it builds a standalone ASF variant
+    containing exactly the level-``q`` segments, re-timed onto a contiguous
+    timeline, published at ``{point}-l{q}-{profile}``.
+
+    The expensive part — the codec runs — is **segment-grained**: every
+    (segment slice, profile) pair becomes one :class:`~repro.asf.farm.EncodeJob`,
+    and the *entire grid* is submitted as a single farm batch. Because the
+    level-nesting invariant (:meth:`~repro.contenttree.abstractor.Abstractor.verify_nesting`)
+    guarantees level ``q`` is a subset of level ``q+1``, within-batch
+    dedup collapses the grid's ~L×B×S nominal jobs down to B×S distinct
+    encodes; an attached :class:`~repro.asf.encoder.EncodeCache` extends
+    the same reuse across publishes, so republishing after editing one
+    slide only encodes that slide's delta. Assembly (timeline rebasing,
+    stream numbering, script commands, packetization) happens in the
+    caller after the batch returns, in a fixed order — parallel farms
+    produce **byte-identical** variants to ``workers=0``.
+
+    ``media_server=None`` skips publication and just builds the variants —
+    handy for benchmarks and tests. ``simulated_cost_per_second`` is
+    modeled encoder latency per media-second (see :mod:`repro.asf.farm`);
+    production paths leave it 0.
+    """
+
+    def __init__(
+        self,
+        media_server: Optional[MediaServer] = None,
+        *,
+        renditions: Sequence[BandwidthProfile],
+        farm: Optional[EncodeFarm] = None,
+        cache: Optional[EncodeCache] = None,
+        packet_size: int = 1_450,
+        preroll_ms: int = 3_000,
+        with_data: bool = False,
+        simulated_cost_per_second: float = 0.0,
+    ) -> None:
+        renditions = list(renditions)
+        if not renditions:
+            raise LectureError("grid publishing needs at least one rendition")
+        names = [p.name for p in renditions]
+        if len(set(names)) != len(names):
+            raise LectureError("rendition profiles must have distinct names")
+        self.media_server = media_server
+        self.renditions = sorted(renditions, key=lambda p: p.total_bitrate)
+        if farm is None:
+            farm = EncodeFarm(0, cache=cache)
+        elif farm.cache is None and cache is not None:
+            farm.cache = cache
+        self.farm = farm
+        self.cache = cache if cache is not None else farm.cache
+        self.packet_size = packet_size
+        self.preroll_ms = preroll_ms
+        self.with_data = with_data
+        self.simulated_cost_per_second = simulated_cost_per_second
+        self._image_codec = ImageCodec()
+
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        lecture: Lecture,
+        point: str,
+        *,
+        levels: Optional[Sequence[int]] = None,
+        replace: bool = False,
+    ) -> LODPublishResult:
+        """Build (and optionally publish) every (level, rendition) variant.
+
+        ``levels`` defaults to every non-trivial tree level (1..highest);
+        level 0 is the bare root and has no segments to encode.
+        ``replace=True`` unpublishes colliding points first — the
+        "republish after editing" workflow.
+        """
+        tree = lecture.content_tree()
+        abstractor = Abstractor(tree)
+        abstractor.verify_nesting()
+        if levels is None:
+            level_list = list(range(1, tree.highest_level + 1))
+        else:
+            level_list = sorted(set(levels))
+            for q in level_list:
+                if not 1 <= q <= tree.highest_level:
+                    raise LectureError(
+                        f"level {q} outside 1..{tree.highest_level}"
+                    )
+        if not level_list:
+            raise LectureError("no levels to publish")
+
+        chosen_by_level: Dict[int, List[LectureSegment]] = {}
+        for q in level_list:
+            names = set(abstractor.at_level(q).segments)
+            chosen = [s for s in lecture.segments if s.name in names]
+            if not chosen:
+                raise LectureError(f"level {q} selects no lecture segments")
+            chosen_by_level[q] = chosen
+
+        # One batch for the whole grid, in a fixed deterministic order:
+        # (level asc, profile asc) × (videos, audios, images in lecture
+        # order). Within-batch dedup collapses shared segments across
+        # levels; results arrive in this same order regardless of workers.
+        jobs: List[EncodeJob] = []
+        plans: List[_VariantPlan] = []
+        for q in level_list:
+            for profile in self.renditions:
+                plan = _VariantPlan(q, profile, chosen_by_level[q])
+                for seg in plan.segments:
+                    clip = lecture.video.cut(seg.start, seg.duration)
+                    plan.video_idx.append(len(jobs))
+                    jobs.append(
+                        EncodeJob(
+                            JOB_VIDEO,
+                            clip,
+                            profile=profile,
+                            with_data=self.with_data,
+                            simulated_cost=(
+                                self.simulated_cost_per_second * seg.duration
+                            ),
+                        )
+                    )
+                if lecture.audio is not None:
+                    for seg in plan.segments:
+                        track = lecture.audio.cut(seg.start, seg.duration)
+                        plan.audio_idx.append(len(jobs))
+                        jobs.append(
+                            EncodeJob(
+                                JOB_AUDIO,
+                                track,
+                                profile=profile,
+                                with_data=self.with_data,
+                                simulated_cost=(
+                                    self.simulated_cost_per_second
+                                    * seg.duration
+                                    / 6.0
+                                ),
+                            )
+                        )
+                for seg in plan.segments:
+                    plan.image_idx.append(len(jobs))
+                    jobs.append(
+                        EncodeJob(
+                            JOB_IMAGE,
+                            seg.slide,
+                            with_data=self.with_data,
+                            image_codec=self._image_codec,
+                        )
+                    )
+                plans.append(plan)
+
+        encodes_before = self.farm.encodes_performed
+        dedup_before = self.farm.dedup_hits
+        cache_before = self.farm.cache_hits
+        results = self.farm.encode_batch(jobs)
+
+        variants: Dict[Tuple[int, str], PublishedVariant] = {}
+        for plan in plans:
+            name = f"{point}-l{plan.level}-{plan.profile.name}"
+            asf = self._assemble_variant(lecture, name, plan, results)
+            url = ""
+            if self.media_server is not None:
+                if replace and name in self.media_server.points:
+                    self.media_server.unpublish(name)
+                self.media_server.publish(
+                    name,
+                    asf,
+                    description=(
+                        f"{lecture.title} — level {plan.level}, "
+                        f"{plan.profile.name}"
+                    ),
+                )
+                url = self.media_server.url_of(name)
+            variants[(plan.level, plan.profile.name)] = PublishedVariant(
+                point=name,
+                url=url,
+                level=plan.level,
+                profile=plan.profile.name,
+                asf=asf,
+                segments=tuple(s.name for s in plan.segments),
+            )
+
+        return LODPublishResult(
+            point=point,
+            title=lecture.title,
+            levels=tuple(level_list),
+            profiles=tuple(p.name for p in self.renditions),
+            variants=variants,
+            jobs_submitted=len(jobs),
+            encodes_performed=self.farm.encodes_performed - encodes_before,
+            dedup_hits=self.farm.dedup_hits - dedup_before,
+            cache_hits=self.farm.cache_hits - cache_before,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _assemble_variant(
+        self,
+        lecture: Lecture,
+        file_id: str,
+        plan: _VariantPlan,
+        results: Sequence,
+    ) -> ASFFile:
+        """Merge one grid cell's encoded segments into a standalone ASF.
+
+        Deterministic given the (already-merged) farm results: stream
+        numbers, object renumbering and packetization all happen here,
+        downstream of any parallelism.
+        """
+        starts: List[float] = []
+        clock = 0.0
+        for seg in plan.segments:
+            starts.append(clock)
+            clock += seg.duration
+        duration = clock
+        offsets_ms = [round(t * 1000) for t in starts]
+        span = max(duration, 1e-9)
+
+        streams: List[StreamProperties] = []
+        unit_lists: List[List[MediaUnit]] = []
+        number = 1
+
+        video_encs = [results[i] for i in plan.video_idx]
+        video_units = concat_unit_lists(
+            [units_from_encoded(number, enc) for enc in video_encs], offsets_ms
+        )
+        scaled = plan.profile.configure_video(lecture.video)
+        streams.append(
+            StreamProperties(
+                number,
+                STREAM_TYPE_VIDEO,
+                codec=plan.profile.video_codec,
+                bitrate=sum(e.total_size for e in video_encs) * 8 / span,
+                name=f"{lecture.video.name}@{plan.profile.name}",
+                extra={
+                    "width": str(scaled.width),
+                    "height": str(scaled.height),
+                    "fps": str(scaled.fps),
+                    "quality": f"{video_encs[0].quality:.4f}",
+                    "level": str(plan.level),
+                    "profile": plan.profile.name,
+                },
+            )
+        )
+        unit_lists.append(video_units)
+        number += 1
+
+        if lecture.audio is not None:
+            audio_encs = [results[i] for i in plan.audio_idx]
+            audio_units = concat_unit_lists(
+                [units_from_encoded(number, enc) for enc in audio_encs],
+                offsets_ms,
+            )
+            streams.append(
+                StreamProperties(
+                    number,
+                    STREAM_TYPE_AUDIO,
+                    codec=plan.profile.audio_codec,
+                    bitrate=sum(e.total_size for e in audio_encs) * 8 / span,
+                    name=lecture.audio.name,
+                    extra={"quality": f"{audio_encs[0].quality:.4f}"},
+                )
+            )
+            unit_lists.append(audio_units)
+            number += 1
+
+        slide_units: List[MediaUnit] = []
+        slide_bytes = 0
+        for object_number, (idx, offset) in enumerate(
+            zip(plan.image_idx, offsets_ms)
+        ):
+            data = units_from_encoded(number, results[idx])[0].data
+            slide_units.append(
+                MediaUnit(number, object_number, offset, True, data)
+            )
+            slide_bytes += len(data)
+        streams.append(
+            StreamProperties(
+                number,
+                STREAM_TYPE_IMAGE,
+                codec=self._image_codec.name,
+                bitrate=slide_bytes * 8 / span,
+                name="slides",
+            )
+        )
+        unit_lists.append(slide_units)
+
+        commands = [ScriptCommand(0, TYPE_TREE_LEVEL, str(plan.level))]
+        commands.extend(
+            ScriptCommand(offset, TYPE_SLIDE, seg.name)
+            for seg, offset in zip(plan.segments, offsets_ms)
+        )
+        command_list = sorted(commands)
+        streams.append(
+            StreamProperties(
+                SCRIPT_STREAM_NUMBER,
+                STREAM_TYPE_COMMAND,
+                codec="script",
+                name="commands",
+            )
+        )
+        unit_lists.append(units_from_commands(command_list))
+
+        header = HeaderObject(
+            file_properties=FileProperties(
+                file_id=file_id,
+                duration_ms=round(duration * 1000),
+                packet_size=self.packet_size,
+                preroll_ms=self.preroll_ms,
+            ),
+            streams=streams,
+            metadata={
+                "title": lecture.title,
+                "author": lecture.author,
+                "level": str(plan.level),
+                "profile": plan.profile.name,
+                "segments": str(len(plan.segments)),
+            },
+            script_commands=command_list,
+        )
+        packetizer = Packetizer(
+            packet_size=self.packet_size,
+            bitrate=max(header.total_bitrate, 1.0),
+            pacing="duration",
+        )
+        asf = ASFFile(header=header, packets=packetizer.packetize(unit_lists))
+        asf.ensure_index()
+        return asf

@@ -26,6 +26,7 @@ from .profiles import (
     STANDARD_PROFILES,
     BandwidthProfile,
     get_profile,
+    rendition_ladder,
     select_profile,
 )
 
@@ -35,5 +36,5 @@ __all__ = [
     "Frame", "ImageCodec", "ImageObject", "MediaError", "MediaObject",
     "MediaType", "PROFILE_BY_NAME", "PresentationClock", "STANDARD_PROFILES",
     "TextObject", "TimestampGenerator", "VideoObject", "get_codec",
-    "get_profile", "select_profile",
+    "get_profile", "rendition_ladder", "select_profile",
 ]

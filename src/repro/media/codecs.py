@@ -109,6 +109,22 @@ class Codec:
         if self.keyframe_interval <= 0 or self.i_to_p_ratio < 1:
             raise CodecError(f"{self.name!r}: bad GOP parameters")
 
+    def fingerprint(self) -> tuple:
+        """Every parameter that shapes the encoded bytes, as a hashable key.
+
+        Two codecs with equal fingerprints produce identical output for
+        identical input — the content-addressing contract the segment-level
+        encode cache (:mod:`repro.asf.farm`) keys on.
+        """
+        return (
+            "codec",
+            self.name,
+            self.kind.value,
+            self.efficiency,
+            self.keyframe_interval,
+            self.i_to_p_ratio,
+        )
+
     # ------------------------------------------------------------------
 
     def encode(
@@ -197,6 +213,10 @@ class ImageCodec:
     name: str = "slidejpeg"
     compression_ratio: float = 20.0
     quality: float = 0.9
+
+    def fingerprint(self) -> tuple:
+        """Hashable identity of the compressor (see :meth:`Codec.fingerprint`)."""
+        return ("imagecodec", self.name, self.compression_ratio, self.quality)
 
     def encode(self, image: ImageObject, *, with_data: bool = False) -> EncodedStream:
         size = max(1, round(image.raw_size() / self.compression_ratio))

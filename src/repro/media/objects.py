@@ -116,6 +116,29 @@ class VideoObject(MediaObject):
             data = _pseudo_bytes(self.seed, i, self.frame_size) if with_data else b""
             yield Frame(i, i / self.fps, self.frame_size, keyframe=True, data=data)
 
+    def cut(
+        self, start: float, duration: float, *, name: Optional[str] = None
+    ) -> "VideoObject":
+        """A contiguous sub-clip ``[start, start + duration)`` as its own object.
+
+        The derived seed depends only on the source seed and the window, so
+        equal windows of equal sources compare (and hash) equal — the
+        content-addressing property segment-level encode reuse keys on.
+        """
+        if start < 0 or duration <= 0 or start + duration > self.duration + 1e-9:
+            raise MediaError(
+                f"{self.name!r}: cut [{start:g}, {start + duration:g}) outside "
+                f"[0, {self.duration:g})"
+            )
+        return VideoObject(
+            name=name or f"{self.name}[{start:g}+{duration:g}]",
+            duration=duration,
+            width=self.width,
+            height=self.height,
+            fps=self.fps,
+            seed=f"{self.seed}@{start:g}+{duration:g}",
+        )
+
 
 @dataclass(frozen=True)
 class AudioObject(MediaObject):
@@ -141,6 +164,25 @@ class AudioObject(MediaObject):
 
     def raw_size(self) -> int:
         return round(self.duration * self.byte_rate)
+
+    def cut(
+        self, start: float, duration: float, *, name: Optional[str] = None
+    ) -> "AudioObject":
+        """A contiguous sub-track ``[start, start + duration)`` (see
+        :meth:`VideoObject.cut` for the content-addressing contract)."""
+        if start < 0 or duration <= 0 or start + duration > self.duration + 1e-9:
+            raise MediaError(
+                f"{self.name!r}: cut [{start:g}, {start + duration:g}) outside "
+                f"[0, {self.duration:g})"
+            )
+        return AudioObject(
+            name=name or f"{self.name}[{start:g}+{duration:g}]",
+            duration=duration,
+            sample_rate=self.sample_rate,
+            channels=self.channels,
+            sample_width=self.sample_width,
+            seed=f"{self.seed}@{start:g}+{duration:g}",
+        )
 
     def blocks(self, *, block_duration: float = 0.1, with_data: bool = False) -> Iterator[Frame]:
         """PCM blocks of ``block_duration`` seconds (last may be shorter)."""

@@ -1,7 +1,7 @@
 """Metrics: sample statistics and per-experiment collectors."""
 
 from .collector import MetricsCollector, Sample
-from .counters import Counters
+from .counters import Counters, counters_snapshot, get_counters, reset_counters
 from .stats import (
     StatsError,
     Summary,
@@ -18,9 +18,12 @@ __all__ = [
     "Sample",
     "StatsError",
     "Summary",
+    "counters_snapshot",
     "format_table",
+    "get_counters",
     "jain_index",
     "mean",
     "percentile",
+    "reset_counters",
     "stdev",
 ]

@@ -72,6 +72,61 @@ class TestAbstractor:
         assert all(s in it for s in short)  # subsequence check
 
 
+class TestNestingInvariant:
+    """Level-k ⊆ level-(k+1): the property segment-level encode reuse
+    across abstraction levels depends on (see repro.lod.publisher)."""
+
+    FLAT = [
+        ("intro", 30, 0), ("history", 20, 1), ("aside", 25, 2),
+        ("footnote", 15, 3), ("core", 30, 0), ("proof", 20, 1),
+        ("lemma", 25, 2), ("remark", 15, 3),
+    ]
+
+    def test_round_trip_all_levels(self):
+        """tree_from_segments → all_levels reproduces the flat lecture."""
+        tree = tree_from_segments(self.FLAT)
+        summaries = Abstractor(tree).all_levels()
+        # deepest level replays the whole lecture, in lecture order
+        deepest = summaries[-1]
+        assert [n for n in deepest.segments if n != "overview"] == [
+            name for name, _, _ in self.FLAT
+        ]
+        assert deepest.duration == sum(d for _, d, _ in self.FLAT)
+        # each level contains exactly the segments of importance < level
+        for summary in summaries[1:]:
+            expected = [
+                name for name, _, imp in self.FLAT if imp < summary.level
+            ]
+            assert [n for n in summary.segments if n != "overview"] == expected
+
+    def test_every_level_subset_of_next(self):
+        tree = tree_from_segments(self.FLAT)
+        a = Abstractor(tree)
+        for level in range(tree.highest_level):
+            shorter = list(a.at_level(level).segments)
+            longer = iter(a.at_level(level + 1).segments)
+            assert all(name in longer for name in shorter), (
+                f"level {level} not an order-preserving subset of {level + 1}"
+            )
+
+    def test_verify_nesting_passes(self):
+        Abstractor(tree_from_segments(self.FLAT)).verify_nesting()
+        Abstractor(build_example_tree()).verify_nesting()
+        Abstractor(tree_from_segments([("only", 10, 0)])).verify_nesting()
+
+    def test_verify_nesting_detects_reordering(self):
+        tree = tree_from_segments(self.FLAT)
+        original = tree.presentation_at
+
+        def scrambled(level):
+            nodes = original(level)
+            return list(reversed(nodes)) if level == 2 else nodes
+
+        tree.presentation_at = scrambled
+        with pytest.raises(ContentTreeError):
+            Abstractor(tree).verify_nesting()
+
+
 class TestLinearTruncation:
     SEGMENTS = [("a", 20), ("b", 20), ("c", 20), ("d", 20), ("e", 20)]
 

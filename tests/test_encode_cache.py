@@ -144,6 +144,147 @@ class TestEncodeCache:
         assert a is not b  # no cache: every call builds a fresh file
 
 
+class TestMBRCache:
+    """encode_file_mbr goes through the cache with a rendition-aware key."""
+
+    RENDITIONS = ["modem-56k", "dsl-256k", "lan-1m"]
+
+    def renditions(self):
+        return [get_profile(name) for name in self.RENDITIONS]
+
+    def test_identical_mbr_encode_hits(self):
+        cache = EncodeCache()
+        video, audio, images = sources()
+        first = make_encoder(cache).encode_file_mbr(
+            file_id="L",
+            video=video,
+            audio=audio,
+            images=images,
+            renditions=self.renditions(),
+        )
+        again = make_encoder(cache).encode_file_mbr(
+            file_id="L",
+            video=video,
+            audio=audio,
+            images=images,
+            renditions=self.renditions(),
+        )
+        assert again is first
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_rendition_order_is_normalized(self):
+        cache = EncodeCache()
+        video, _, _ = sources()
+        first = make_encoder(cache).encode_file_mbr(
+            file_id="L", video=video, renditions=self.renditions()
+        )
+        shuffled = make_encoder(cache).encode_file_mbr(
+            file_id="L", video=video, renditions=self.renditions()[::-1]
+        )
+        assert shuffled is first
+
+    def test_ladder_change_misses(self):
+        cache = EncodeCache()
+        video, _, _ = sources()
+        full = make_encoder(cache).encode_file_mbr(
+            file_id="L", video=video, renditions=self.renditions()
+        )
+        trimmed = make_encoder(cache).encode_file_mbr(
+            file_id="L",
+            video=video,
+            renditions=self.renditions()[:2],
+        )
+        assert trimmed is not full
+        assert cache.hits == 0
+
+    def test_single_and_mbr_keys_do_not_collide(self):
+        cache = EncodeCache()
+        video, _, _ = sources()
+        single = make_encoder(cache).encode_file(file_id="L", video=video)
+        mbr = make_encoder(cache).encode_file_mbr(
+            file_id="L", video=video, renditions=[get_profile("isdn-dual")]
+        )
+        assert mbr is not single
+        assert cache.hits == 0
+
+    def test_drm_bypasses_mbr_cache(self):
+        cache = EncodeCache()
+        video, _, _ = sources()
+        licenses = LicenseServer()
+        encoder = make_encoder(cache)
+        protected = encoder.encode_file_mbr(
+            file_id="L",
+            video=video,
+            renditions=self.renditions(),
+            license_server=licenses,
+        )
+        again = encoder.encode_file_mbr(
+            file_id="L",
+            video=video,
+            renditions=self.renditions(),
+            license_server=licenses,
+        )
+        assert protected is not again
+        assert len(cache) == 0
+        assert cache.segment_count == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert (cache.segment_hits, cache.segment_misses) == (0, 0)
+
+
+class TestSegmentScope:
+    def test_segment_entries_counted_separately(self):
+        cache = EncodeCache()
+        video, audio, images = sources()
+        make_encoder(cache).encode_file(
+            file_id="L", video=video, audio=audio, images=images
+        )
+        assert len(cache) == 1  # one file entry
+        assert cache.segment_count == 4  # video + audio + two slides
+        assert cache.segment_misses == 4
+
+    def test_segment_reuse_across_file_ids(self):
+        cache = EncodeCache()
+        video, audio, images = sources()
+        make_encoder(cache).encode_file(file_id="A", video=video)
+        make_encoder(cache).encode_file(file_id="B", video=video)
+        # different file id: file-level miss, but the codec run is reused
+        assert cache.hits == 0
+        assert cache.segment_hits == 1
+        assert cache.bytes_saved > 0
+
+    def test_segment_lru_eviction(self):
+        cache = EncodeCache(max_segment_entries=1)
+        video, audio, _ = sources()
+        make_encoder(cache).encode_file(file_id="L", video=video, audio=audio)
+        assert cache.segment_count == 1
+        assert cache.evictions == 1
+
+
+class TestCountersRegistry:
+    def test_cache_publishes_to_registry_bag(self):
+        from repro.metrics import get_counters
+
+        bag = get_counters("encode_cache")
+        before_hits = bag.get("file_hits")
+        before_seg = bag.get("segment_misses")
+        cache = EncodeCache()
+        video, _, _ = sources()
+        make_encoder(cache).encode_file(file_id="L", video=video)
+        make_encoder(cache).encode_file(file_id="L", video=video)
+        assert bag.get("file_hits") == before_hits + 1
+        assert bag.get("segment_misses") == before_seg + 1
+
+    def test_private_counters_bag_honoured(self):
+        from repro.metrics import Counters
+
+        private = Counters()
+        cache = EncodeCache(counters=private)
+        video, _, _ = sources()
+        make_encoder(cache).encode_file(file_id="L", video=video)
+        assert private.get("file_misses") == 1
+        assert private.get("segment_misses") == 1
+
+
 class TestPackMemo:
     def packet(self):
         payload = Payload(1, 0, 0, 6, 0, True, b"abcdef")
