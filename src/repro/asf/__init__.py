@@ -23,6 +23,7 @@ from .farm import (
     EncodeJob,
     FarmError,
     run_encode_job,
+    run_job_with_deltas,
 )
 from .header import FileProperties, HeaderObject, StreamProperties
 from .indexer import IndexEntry, SimpleIndex, add_script_commands
@@ -66,6 +67,7 @@ __all__ = [
     "ScriptCommand", "ScriptCommandDispatcher", "SimpleIndex",
     "StreamProperties", "TYPE_ANNOTATION", "TYPE_CAPTION", "TYPE_FILENAME",
     "TYPE_SLIDE", "TYPE_TREE_LEVEL", "TYPE_URL", "add_script_commands",
-    "command_from_unit", "concat_unit_lists", "run_encode_job", "scramble",
+    "command_from_unit", "concat_unit_lists", "run_encode_job",
+    "run_job_with_deltas", "scramble",
     "slide_commands", "units_from_commands", "units_from_encoded",
 ]

@@ -199,13 +199,17 @@ class ASFEncoder:
         *,
         cache: Optional[EncodeCache] = None,
         farm: Optional[EncodeFarm] = None,
+        tracer=None,
     ) -> None:
         self.config = config
         self.cache = cache
+        self.tracer = tracer  # optional repro.obs.Tracer
         if farm is None:
-            farm = EncodeFarm(0, cache=cache)
+            farm = EncodeFarm(0, cache=cache, tracer=tracer)
         elif farm.cache is None and cache is not None:
             farm.cache = cache
+        if farm.tracer is None and tracer is not None:
+            farm.tracer = tracer
         self.farm = farm
         self._next_stream = itertools.count(1)
         self._image_codec = ImageCodec()
@@ -421,7 +425,13 @@ class ASFEncoder:
             cache_key = self._cache_key(file_id, video, audio, images, command_list)
             cached = self.cache.lookup(cache_key)
             if cached is not None:
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "encode.file", file_id=file_id, cached=True
+                    )
                 return cached
+        if self.tracer is not None:
+            self.tracer.event("encode.file", file_id=file_id, cached=False)
         jobs: List[EncodeJob] = []
         if video is not None:
             jobs.append(self._job(JOB_VIDEO, video, self.config.profile))

@@ -36,7 +36,13 @@ Reuse happens at two scopes, both before any worker is consulted:
 
 The farm tallies ``jobs``, ``encodes``, ``dedup_hits``, ``cache_hits`` and
 ``parallel_batches`` into the process-global ``encode_farm`` counter bag
-(:func:`repro.metrics.counters.get_counters`).
+(:func:`repro.metrics.counters.get_counters`); each codec run additionally
+records ``codec_runs``/``encoded_bytes`` *in the process that executed
+it*. On the pool path those increments land in spawn children, whose
+registry is separate from the parent's — :func:`run_job_with_deltas`
+returns each job's counter delta with its result and the parent merges it
+(:func:`repro.metrics.counters.merge_snapshot`), so serial and parallel
+runs report identical totals.
 
 ``simulated_cost`` models wall-clock codec latency (seconds a real encoder
 of the paper's era would burn on the job). The parametric codec models in
@@ -54,7 +60,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..media.codecs import EncodedStream, ImageCodec, get_codec
 from ..media.objects import AudioObject, ImageObject, MediaObject, VideoObject
 from ..media.profiles import BandwidthProfile
-from ..metrics.counters import Counters, get_counters
+from ..metrics.counters import (
+    Counters,
+    counters_snapshot,
+    get_counters,
+    merge_snapshot,
+    snapshot_delta,
+)
 from .constants import ASFError
 
 #: Pinned multiprocessing start method. ``spawn`` gives identical worker
@@ -127,12 +139,36 @@ def run_encode_job(job: EncodeJob) -> EncodedStream:
     if job.simulated_cost > 0:
         time.sleep(job.simulated_cost)
     if job.kind == JOB_VIDEO:
-        return job.profile.encode_video(job.media, with_data=job.with_data)
-    if job.kind == JOB_AUDIO:
-        return job.profile.encode_audio(job.media, with_data=job.with_data)
-    return (job.image_codec or ImageCodec()).encode(
-        job.media, with_data=job.with_data
-    )
+        stream = job.profile.encode_video(job.media, with_data=job.with_data)
+    elif job.kind == JOB_AUDIO:
+        stream = job.profile.encode_audio(job.media, with_data=job.with_data)
+    else:
+        stream = (job.image_codec or ImageCodec()).encode(
+            job.media, with_data=job.with_data
+        )
+    # codec-run accounting happens where the codec runs — in the worker
+    # process on the pool path. run_job_with_deltas carries these
+    # increments back to the parent registry.
+    bag = get_counters("encode_farm")
+    bag.inc("codec_runs")
+    bag.inc("encoded_bytes", stream.total_size)
+    return stream
+
+
+def run_job_with_deltas(
+    job: EncodeJob,
+) -> Tuple[EncodedStream, Dict[str, Dict[str, int]]]:
+    """Pool entry point: the job's result plus its registry increments.
+
+    ``spawn`` children own a private process-global counter registry, so
+    any ``inc`` made while encoding would die with the worker. Snapshot
+    before/after (the pool is persistent — workers accumulate state across
+    jobs, so the delta must be per-job) and return the difference for the
+    parent to :func:`~repro.metrics.counters.merge_snapshot`.
+    """
+    before = counters_snapshot()
+    stream = run_encode_job(job)
+    return stream, snapshot_delta(before, counters_snapshot())
 
 
 class EncodeFarm:
@@ -159,6 +195,7 @@ class EncodeFarm:
         cache: Optional["EncodeCache"] = None,  # noqa: F821 - forward ref
         start_method: str = START_METHOD,
         counters: Optional[Counters] = None,
+        tracer=None,
     ) -> None:
         if workers < 0:
             raise FarmError("workers must be >= 0")
@@ -166,6 +203,7 @@ class EncodeFarm:
         self.cache = cache
         self.start_method = start_method
         self.counters = counters if counters is not None else get_counters("encode_farm")
+        self.tracer = tracer  # optional repro.obs.Tracer
         self._pool = None
         # per-instance tallies (the registry bag aggregates across farms)
         self.encodes_performed = 0
@@ -185,6 +223,13 @@ class EncodeFarm:
         published content, exactly like cached ASF files.
         """
         self.counters.inc("jobs", len(jobs))
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.begin(
+                "farm.batch", jobs=len(jobs), workers=self.workers
+            )
+        batch_dedup = self.dedup_hits
+        batch_cached = self.cache_hits
         results: List[Optional[EncodedStream]] = [None] * len(jobs)
         pending: Dict[tuple, List[int]] = {}
         for i, job in enumerate(jobs):
@@ -211,6 +256,13 @@ class EncodeFarm:
                 self.cache.store_segment(key, stream)
             for i in pending[key]:
                 results[i] = stream
+        if self.tracer is not None:
+            self.tracer.end(
+                span,
+                encodes=len(unique),
+                dedup_hits=self.dedup_hits - batch_dedup,
+                cache_hits=self.cache_hits - batch_cached,
+            )
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -223,7 +275,13 @@ class EncodeFarm:
         # Pool.map preserves submission order: worker results are merged in
         # rank order, which is what keeps parallel output byte-identical to
         # the serial path (stream numbering happens in the caller, after).
-        return pool.map(run_encode_job, jobs, chunksize=1)
+        # Each result carries the worker's counter delta; merging it here
+        # makes parallel runs report the same registry totals as serial.
+        streams: List[EncodedStream] = []
+        for stream, deltas in pool.map(run_job_with_deltas, jobs, chunksize=1):
+            merge_snapshot(deltas)
+            streams.append(stream)
+        return streams
 
     def _ensure_pool(self):
         if self._pool is None:

@@ -381,12 +381,13 @@ class FloorControl:
     or implicitly on release when someone is waiting.
     """
 
-    def __init__(self, users: Sequence[str]) -> None:
+    def __init__(self, users: Sequence[str], *, tracer=None) -> None:
         self.users = list(users)
         self.net = build_floor_net(users)
         self.queue: List[str] = []
         self.log: List[Tuple[float, str, str]] = []  # (time, action, user)
         self.now = 0.0
+        self.tracer = tracer  # optional repro.obs.Tracer
 
     def _check_user(self, user: str) -> None:
         if user not in self.users:
@@ -424,6 +425,8 @@ class FloorControl:
         user = self.queue.pop(0)
         self.net.fire(f"grant_{user}")
         self.log.append((self.now, "grant", user))
+        if self.tracer is not None:
+            self.tracer.event("floor.grant", user=user)
         return user
 
     def release(self, user: str) -> Optional[str]:
@@ -431,7 +434,33 @@ class FloorControl:
         self._check_user(user)
         self.net.fire(f"release_{user}")  # NotEnabledError if not holder
         self.log.append((self.now, "release", user))
+        if self.tracer is not None:
+            self.tracer.event("floor.release", user=user)
         return self.grant_next()
+
+    def drop(self, user: str) -> Optional[str]:
+        """Forcibly evict a departed user from the arbitration.
+
+        A site crash/disconnect fires no ``release`` of its own — without
+        this, a holder's death orphans the floor token forever. Dropping
+        the holder fires the net's ordinary ``release`` transition (the
+        P-invariant ``floor + Σ holding_u = 1`` is untouched) and grants
+        the next waiter; dropping a waiter removes it from the FIFO queue
+        so it can never be granted a floor it is not present to use (its
+        ``waiting`` token strands harmlessly — by policy the queue, not
+        the marking, decides grants). Returns the new holder, if any.
+        """
+        self._check_user(user)
+        if self.holder == user:
+            self.net.fire(f"release_{user}")
+            self.log.append((self.now, "drop", user))
+            if self.tracer is not None:
+                self.tracer.event("floor.drop", user=user)
+            return self.grant_next()
+        if user in self.queue:
+            self.queue.remove(user)
+            self.log.append((self.now, "drop", user))
+        return None
 
     def holding_times(self) -> Dict[str, float]:
         """Total floor-holding time per user (for fairness metrics)."""

@@ -54,12 +54,13 @@ class Classroom:
         teacher: str = "teacher",
         beacon_interval: Optional[float] = 1.0,
         drift_threshold: float = 0.05,
+        tracer=None,
     ) -> None:
         if teacher in students:
             raise ValueError("teacher must not also be a student site")
         self.teacher = teacher
         self.users = [teacher, *students]
-        self.floor = FloorControl(self.users)
+        self.floor = FloorControl(self.users, tracer=tracer)
         self.coordinator = DistributedCoordinator(
             presentation,
             students,
@@ -98,6 +99,26 @@ class Classroom:
     def release_floor(self, user: str) -> Optional[str]:
         next_holder = self.floor.release(user)
         self._log(user, "release_floor", f"next={next_holder}")
+        return next_holder
+
+    def site_disconnected(self, user: str) -> Optional[str]:
+        """A user's site link died (crash, partition) — reclaim the floor.
+
+        The departed user fires no ``release_floor`` of their own; without
+        this hook a disconnected holder orphans the floor and the whole
+        classroom deadlocks. Drops the user from arbitration (releasing
+        the floor if held, leaving the queue if waiting), logs the audit
+        trail, and returns the next holder if the floor moved.
+        """
+        held = self.floor.holder == user
+        next_holder = self.floor.drop(user)
+        self._log(user, "disconnect", "held floor" if held else "")
+        if held:
+            self._log(
+                user,
+                "floor_reclaimed",
+                f"next={next_holder}" if next_holder else "floor free",
+            )
         return next_holder
 
     # -- arbitrated interactions ----------------------------------------

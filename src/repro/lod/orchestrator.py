@@ -63,11 +63,13 @@ class Orchestrator:
         with_data: bool = False,
         encode_cache: Optional[EncodeCache] = None,
         farm: Optional[EncodeFarm] = None,
+        tracer=None,
     ) -> None:
         self.profile = profile
         self.license_server = license_server
         self.encode_cache = encode_cache
         self.farm = farm
+        self.tracer = tracer  # optional repro.obs.Tracer
         self.config = EncoderConfig(
             profile=profile,
             packet_size=packet_size,
@@ -94,6 +96,13 @@ class Orchestrator:
 
     def orchestrate(self, lecture: Lecture, *, file_id: Optional[str] = None) -> OrchestrationResult:
         """Lecture → verified ASF file + content tree."""
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.begin(
+                "orchestrate",
+                lecture=lecture.title,
+                segments=len(lecture.segments),
+            )
         commands = lecture.script_commands()
         schedule = self.net_schedule(lecture)
         error = verify_orchestration(lecture, commands, schedule)
@@ -103,7 +112,12 @@ class Orchestrator:
             "author": lecture.author,
             "segments": str(len(lecture.segments)),
         }
-        encoder = ASFEncoder(self.config, cache=self.encode_cache, farm=self.farm)
+        encoder = ASFEncoder(
+            self.config,
+            cache=self.encode_cache,
+            farm=self.farm,
+            tracer=self.tracer,
+        )
         asf = encoder.encode_file(
             file_id=file_id or lecture.title,
             video=lecture.video,
@@ -112,6 +126,8 @@ class Orchestrator:
             commands=commands,
             license_server=self.license_server,
         )
+        if self.tracer is not None:
+            self.tracer.end(span, verification_error=error)
         return OrchestrationResult(
             lecture=lecture,
             asf=asf,

@@ -143,6 +143,7 @@ class WebPublishingManager:
         default_profile: str = "dsl-256k",
         encode_cache: Optional[EncodeCache] = None,
         farm: Optional[EncodeFarm] = None,
+        tracer=None,
     ) -> None:
         self.media_server = media_server
         self.store = store
@@ -150,6 +151,7 @@ class WebPublishingManager:
         self.default_profile = default_profile
         self.encode_cache = encode_cache
         self.farm = farm
+        self.tracer = tracer  # optional repro.obs.Tracer
         self.published: Dict[str, PublishedLecture] = {}
         media_server.http.route("POST", "/publish", self._handle_publish_form)
         media_server.http.route("GET", "/publish", self._handle_form_page)
@@ -185,6 +187,7 @@ class WebPublishingManager:
             license_server=self.license_server if protect else None,
             encode_cache=self.encode_cache,
             farm=self.farm,
+            tracer=self.tracer,
         )
         result = orchestrator.orchestrate(lecture, file_id=point)
         self.media_server.publish(point, result.asf, description=lecture.title)
@@ -371,6 +374,7 @@ class LODPublisher:
         preroll_ms: int = 3_000,
         with_data: bool = False,
         simulated_cost_per_second: float = 0.0,
+        tracer=None,
     ) -> None:
         renditions = list(renditions)
         if not renditions:
@@ -380,10 +384,14 @@ class LODPublisher:
             raise LectureError("rendition profiles must have distinct names")
         self.media_server = media_server
         self.renditions = sorted(renditions, key=lambda p: p.total_bitrate)
+        self.tracer = tracer  # optional repro.obs.Tracer
         if farm is None:
-            farm = EncodeFarm(0, cache=cache)
-        elif farm.cache is None and cache is not None:
-            farm.cache = cache
+            farm = EncodeFarm(0, cache=cache, tracer=tracer)
+        else:
+            if farm.cache is None and cache is not None:
+                farm.cache = cache
+            if farm.tracer is None and tracer is not None:
+                farm.tracer = tracer
         self.farm = farm
         self.cache = cache if cache is not None else farm.cache
         self.packet_size = packet_size
@@ -484,6 +492,15 @@ class LODPublisher:
                     )
                 plans.append(plan)
 
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.begin(
+                "publish",
+                point=point,
+                levels=len(level_list),
+                renditions=len(self.renditions),
+                jobs=len(jobs),
+            )
         encodes_before = self.farm.encodes_performed
         dedup_before = self.farm.dedup_hits
         cache_before = self.farm.cache_hits
@@ -515,6 +532,14 @@ class LODPublisher:
                 segments=tuple(s.name for s in plan.segments),
             )
 
+        if self.tracer is not None:
+            self.tracer.end(
+                span,
+                variants=len(variants),
+                encodes=self.farm.encodes_performed - encodes_before,
+                dedup_hits=self.farm.dedup_hits - dedup_before,
+                cache_hits=self.farm.cache_hits - cache_before,
+            )
         return LODPublishResult(
             point=point,
             title=lecture.title,

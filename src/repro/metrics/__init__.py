@@ -1,7 +1,15 @@
 """Metrics: sample statistics and per-experiment collectors."""
 
 from .collector import MetricsCollector, Sample
-from .counters import Counters, counters_snapshot, get_counters, reset_counters
+from .counters import (
+    Counters,
+    counters_snapshot,
+    get_counters,
+    merge_snapshot,
+    reset_counters,
+    snapshot_delta,
+)
+from .histogram import Histogram
 from .stats import (
     StatsError,
     Summary,
@@ -14,6 +22,7 @@ from .stats import (
 
 __all__ = [
     "Counters",
+    "Histogram",
     "MetricsCollector",
     "Sample",
     "StatsError",
@@ -23,7 +32,9 @@ __all__ = [
     "get_counters",
     "jain_index",
     "mean",
+    "merge_snapshot",
     "percentile",
     "reset_counters",
+    "snapshot_delta",
     "stdev",
 ]

@@ -1,0 +1,84 @@
+"""A small exact-value histogram with percentile summaries.
+
+The benches already summarize via :func:`repro.metrics.stats.percentile`;
+:class:`Histogram` packages that with recording, merging (needed when
+QoE is aggregated across farm workers or client fleets) and a dict form
+for the ``BENCH_*.json`` artifacts. Values are kept exactly — the
+populations here are hundreds of sessions, not millions of packets — so
+percentiles are exact, deterministic, and merge without bucket error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+from .stats import mean, percentile
+
+
+class Histogram:
+    """Exact-value histogram over floats."""
+
+    def __init__(self, name: str = "", values: Iterable[float] = ()) -> None:
+        self.name = name
+        self.values: List[float] = [float(v) for v in values]
+
+    def record(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def merge(self, other: "Histogram") -> None:
+        """Absorb another histogram's population."""
+        self.values.extend(other.values)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def mean(self) -> float:
+        return mean(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        return percentile(self.values, p) if self.values else 0.0
+
+    def percentiles(
+        self, ps: Sequence[float] = (50.0, 90.0, 99.0)
+    ) -> Dict[str, float]:
+        return {f"p{p:g}": self.percentile(p) for p in ps}
+
+    def summary(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "count": self.count,
+            "mean": self.mean(),
+            "min": self.min,
+            "max": self.max,
+        }
+        out.update(self.percentiles())
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = self.summary()
+        out["name"] = self.name
+        return out
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name!r} n={self.count}>"

@@ -42,6 +42,10 @@ class Simulator:
         self._cancelled: set = set()
         self._pending_seqs: set = set()
         self.events_processed = 0
+        # optional repro.obs.Tracer: only coarse run begin/end records —
+        # per-event tracing would multiply the record stream by the event
+        # count and is deliberately not offered
+        self.tracer = None
 
     def schedule(
         self, delay: float, callback: Callable[[], None], *, priority: int = 0
@@ -145,6 +149,9 @@ class Simulator:
         """Process every event up to (and including) time ``when``."""
         if when < self.now:
             raise SimulationError("cannot run backwards")
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.begin("sim.run", until=when)
         processed = 0
         while True:
             nxt = self.peek_time()
@@ -153,11 +160,15 @@ class Simulator:
             self.step()
             processed += 1
             if processed > max_events:
+                if self.tracer is not None:
+                    self.tracer.end(span, events=processed, livelock=True)
                 raise SimulationError(
                     f"more than {max_events} events before t={when} "
                     "(livelock in the model?)"
                 )
         self.now = when
+        if self.tracer is not None:
+            self.tracer.end(span, events=processed)
 
     def run(self, *, max_events: int = 1_000_000) -> None:
         """Process events until the queue drains."""

@@ -161,12 +161,19 @@ class FaultInjector:
     tests and benches can assert the timeline actually ran.
     """
 
-    def __init__(self, network, servers: Optional[Dict[str, Any]] = None) -> None:
+    def __init__(
+        self,
+        network,
+        servers: Optional[Dict[str, Any]] = None,
+        *,
+        tracer=None,
+    ) -> None:
         self.network = network
         self.simulator: Simulator = network.simulator
         self.servers: Dict[str, Any] = dict(servers or {})
         self.log: List[Tuple[float, str, Tuple[str, ...]]] = []
         self._saved_bandwidth: Dict[Tuple[str, str], float] = {}
+        self.tracer = tracer  # optional repro.obs.Tracer
 
     def register_server(self, label: str, server: Any) -> None:
         self.servers[label] = server
@@ -224,3 +231,5 @@ class FaultInjector:
         elif kind == "server_restart":
             self._server(target).restart()
         self.log.append((self.simulator.now, kind, tuple(target)))
+        if self.tracer is not None:
+            self.tracer.event(f"fault.{kind}", target="/".join(target))

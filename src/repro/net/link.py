@@ -97,6 +97,7 @@ class Link:
         queue_limit: int = 64,  # packets queued awaiting serialization
         seed: int = 0,
         name: str = "link",
+        tracer=None,
     ) -> None:
         if bandwidth <= 0:
             raise SimulationError("bandwidth must be positive")
@@ -117,6 +118,10 @@ class Link:
         self.up = True
         self.rng = random.Random(seed)
         self.stats = LinkStats()
+        # optional repro.obs.Tracer: link-state events only (per-packet
+        # drops are summarized in stats — tracing them would dominate the
+        # record stream and the overhead budget)
+        self.tracer = tracer
         self._busy_until = 0.0
         self._queued = 0
         self._burst_bad = False
@@ -133,9 +138,13 @@ class Link:
         does not reach back into the receiver's NIC.
         """
         self.up = False
+        if self.tracer is not None:
+            self.tracer.event("link.down", link=self.name)
 
     def bring_up(self) -> None:
         self.up = True
+        if self.tracer is not None:
+            self.tracer.event("link.up", link=self.name)
 
     def set_bandwidth(self, bandwidth: float) -> None:
         """Re-rate the link (bandwidth collapse / recovery) mid-run."""

@@ -57,7 +57,14 @@ class QoSManager:
     :func:`repro.media.profiles.select_profile` assumes.
     """
 
-    def __init__(self, link: Link, *, headroom: float = 0.9) -> None:
+    def __init__(
+        self,
+        link: Link,
+        *,
+        headroom: float = 0.9,
+        tracer=None,
+        label: str = "",
+    ) -> None:
         if not 0 < headroom <= 1:
             raise QoSError("headroom must be in (0, 1]")
         self.link = link
@@ -65,6 +72,13 @@ class QoSManager:
         self._reservations: Dict[int, Reservation] = {}
         self._ids = itertools.count(1)
         self.rejected = 0
+        # optional repro.obs.Tracer; label disambiguates reservation ids
+        # across managers (the server runs one manager per client link)
+        self.tracer = tracer
+        self.label = label
+
+    def _rid(self, reservation: Reservation) -> str:
+        return f"{self.label or 'qos'}#{reservation.reservation_id}"
 
     @property
     def reserved(self) -> float:
@@ -105,12 +119,25 @@ class QoSManager:
             )
         reservation = Reservation(next(self._ids), spec, owner)
         self._reservations[reservation.reservation_id] = reservation
+        if self.tracer is not None:
+            self.tracer.event(
+                "qos.reserve",
+                rid=self._rid(reservation),
+                owner=owner,
+                bandwidth=spec.bandwidth,
+            )
         return reservation
 
     def release(self, reservation: Reservation) -> None:
         if reservation.reservation_id not in self._reservations:
             raise QoSError(f"reservation {reservation.reservation_id} not active")
         del self._reservations[reservation.reservation_id]
+        if self.tracer is not None:
+            self.tracer.event(
+                "qos.release",
+                rid=self._rid(reservation),
+                owner=reservation.owner,
+            )
 
     def active(self) -> List[Reservation]:
         return list(self._reservations.values())

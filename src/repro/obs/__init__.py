@@ -1,0 +1,22 @@
+"""End-to-end observability: tracing, invariant auditing, QoE.
+
+``repro.obs`` threads one :class:`Tracer` through publish (encode farm,
+publisher), serve (media server, sessions, QoS, faults) and playback
+(player, recovery), then lets :class:`TraceChecker` audit the finished
+trace for cross-layer lifecycle invariants and :class:`QoEAggregator`
+summarize per-session quality of experience.
+"""
+
+from .checker import TraceChecker, TraceViolation
+from .qoe import QoEAggregator, SessionQoE
+from .trace import TraceError, Tracer, load_jsonl
+
+__all__ = [
+    "QoEAggregator",
+    "SessionQoE",
+    "TraceChecker",
+    "TraceError",
+    "TraceViolation",
+    "Tracer",
+    "load_jsonl",
+]

@@ -1,0 +1,210 @@
+"""Cross-layer invariant auditing over a finished trace.
+
+:class:`TraceChecker` replays the records of one
+:class:`~repro.obs.trace.Tracer` run (or a list of dicts loaded from
+JSONL) in ``seq`` order and asserts the lifecycle invariants that the
+simulator cannot enforce locally:
+
+* **session lifecycle** — every ``session.open`` is matched by exactly
+  one ``session.close``; no double-open, no close of an unknown session;
+* **QoS hygiene** — every ``qos.reserve`` is matched by a
+  ``qos.release``; nothing released twice or never released;
+* **no traffic after close** — no ``packet.train`` or ``repair.sent``
+  is recorded for a session after its ``session.close`` (a train record
+  may name one ``session`` or a whole pacing group's ``sessions``);
+* **floor mutual exclusion** — at most one holder at any point of the
+  ``floor.grant`` / ``floor.release`` / ``floor.drop`` event stream, and
+  grants only ever go to a free floor;
+* **render monotonicity** — per (client, stream), ``render.unit`` media
+  timestamps never decrease, except across an explicit
+  ``playback.seek`` which rebases the playhead.
+
+Violations accumulate (so one audit reports *all* problems) and
+:meth:`TraceChecker.assert_ok` raises :class:`TraceViolation` with every
+message attached.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+class TraceViolation(AssertionError):
+    """One or more trace invariants failed; ``violations`` lists them."""
+
+    def __init__(self, violations: List[str]) -> None:
+        self.violations = list(violations)
+        lines = "\n  - ".join(self.violations)
+        super().__init__(
+            f"{len(self.violations)} trace invariant violation(s):\n  - {lines}"
+        )
+
+
+class TraceChecker:
+    """Replays trace records and audits cross-layer invariants."""
+
+    def __init__(self, records: Iterable[Dict[str, Any]]) -> None:
+        self.records = sorted(records, key=lambda r: r["seq"])
+        self.violations: List[str] = []
+        # summary facts exposed for tests / benches
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.reservations_made = 0
+        self.reservations_released = 0
+        self.trains_seen = 0
+        self.renders_seen = 0
+        self._checked = False
+
+    # ------------------------------------------------------------------
+
+    def check(self) -> List[str]:
+        """Run the audit once; returns (and stores) violation messages."""
+        if self._checked:
+            return self.violations
+        self._checked = True
+
+        open_sessions: Dict[str, float] = {}
+        closed_sessions: Dict[str, float] = {}
+        live_reservations: Dict[Any, Tuple[float, str]] = {}
+        floor_holder: Optional[str] = None
+        # (client, stream) -> last rendered media timestamp (ms)
+        render_frontier: Dict[Tuple[str, Any], int] = {}
+
+        for record in self.records:
+            name = record["name"]
+            attrs = record.get("attrs") or {}
+            t = record.get("t", 0.0)
+
+            if name == "session.open":
+                sid = attrs.get("session")
+                self.sessions_opened += 1
+                if sid in open_sessions:
+                    self._fail(f"session {sid!r} opened twice (t={t:.3f})")
+                open_sessions[sid] = t
+                closed_sessions.pop(sid, None)
+
+            elif name == "session.close":
+                sid = attrs.get("session")
+                self.sessions_closed += 1
+                if sid not in open_sessions:
+                    self._fail(
+                        f"close of unknown/already-closed session {sid!r} "
+                        f"(t={t:.3f})"
+                    )
+                else:
+                    open_sessions.pop(sid)
+                    closed_sessions[sid] = t
+
+            elif name in ("packet.train", "repair.sent"):
+                # shared-pacing fan-out records one train for the whole
+                # group (attrs["sessions"]); solo paths record per session
+                sids = attrs.get("sessions")
+                if sids is None:
+                    sids = (attrs.get("session"),)
+                self.trains_seen += 1
+                for sid in sids:
+                    if sid in closed_sessions:
+                        self._fail(
+                            f"{name} on session {sid!r} at t={t:.3f} after "
+                            f"its close at t={closed_sessions[sid]:.3f}"
+                        )
+                    elif sid not in open_sessions:
+                        self._fail(
+                            f"{name} on never-opened session {sid!r} "
+                            f"(t={t:.3f})"
+                        )
+
+            elif name == "qos.reserve":
+                rid = attrs.get("rid")
+                self.reservations_made += 1
+                if rid in live_reservations:
+                    self._fail(f"reservation {rid!r} reserved twice (t={t:.3f})")
+                live_reservations[rid] = (t, attrs.get("owner", ""))
+
+            elif name == "qos.release":
+                rid = attrs.get("rid")
+                self.reservations_released += 1
+                if rid not in live_reservations:
+                    self._fail(
+                        f"release of unknown/already-released reservation "
+                        f"{rid!r} (t={t:.3f})"
+                    )
+                else:
+                    live_reservations.pop(rid)
+
+            elif name == "floor.grant":
+                user = attrs.get("user")
+                if floor_holder is not None:
+                    self._fail(
+                        f"floor granted to {user!r} while {floor_holder!r} "
+                        f"still holds it (t={t:.3f})"
+                    )
+                floor_holder = user
+
+            elif name in ("floor.release", "floor.drop"):
+                user = attrs.get("user")
+                if floor_holder != user:
+                    self._fail(
+                        f"{name} by {user!r} but holder is {floor_holder!r} "
+                        f"(t={t:.3f})"
+                    )
+                floor_holder = None
+
+            elif name == "render.unit":
+                client = attrs.get("client", "")
+                stream = attrs.get("stream")
+                ts = attrs.get("ts", 0)
+                self.renders_seen += 1
+                key = (client, stream)
+                last = render_frontier.get(key)
+                if last is not None and ts < last:
+                    self._fail(
+                        f"render timestamp regressed on client {client!r} "
+                        f"stream {stream!r}: {ts} ms after {last} ms "
+                        f"(t={t:.3f}) with no seek"
+                    )
+                render_frontier[key] = ts
+
+            elif name == "playback.seek":
+                # a seek rebases the playhead for every stream of that client
+                client = attrs.get("client", "")
+                for key in list(render_frontier):
+                    if key[0] == client:
+                        del render_frontier[key]
+
+        for sid, opened_at in sorted(open_sessions.items(), key=str):
+            self._fail(
+                f"session {sid!r} opened at t={opened_at:.3f} never closed"
+            )
+        for rid, (made_at, owner) in sorted(
+            live_reservations.items(), key=str
+        ):
+            self._fail(
+                f"QoS reservation {rid!r} (owner {owner!r}) made at "
+                f"t={made_at:.3f} never released"
+            )
+        return self.violations
+
+    # ------------------------------------------------------------------
+
+    def assert_ok(self) -> "TraceChecker":
+        """Audit and raise :class:`TraceViolation` on any failure."""
+        if self.check():
+            raise TraceViolation(self.violations)
+        return self
+
+    def summary(self) -> Dict[str, int]:
+        self.check()
+        return {
+            "records": len(self.records),
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
+            "reservations_made": self.reservations_made,
+            "reservations_released": self.reservations_released,
+            "trains_seen": self.trains_seen,
+            "renders_seen": self.renders_seen,
+            "violations": len(self.violations),
+        }
+
+    def _fail(self, message: str) -> None:
+        self.violations.append(message)

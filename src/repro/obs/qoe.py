@@ -1,0 +1,116 @@
+"""Per-session QoE extraction and cross-session aggregation.
+
+:class:`SessionQoE` condenses one player's
+:class:`~repro.streaming.client.PlaybackReport` into the quality-of-
+experience facts the paper's campus deployment would have monitored:
+startup delay, rebuffering, the downshift timeline, delivery ratio
+against the clean (fault-free) byte count, and the NAK/repair totals of
+the recovery layer. :class:`QoEAggregator` folds any number of sessions
+into :class:`~repro.metrics.histogram.Histogram`-backed summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..metrics.histogram import Histogram
+
+
+@dataclass
+class SessionQoE:
+    """QoE facts for one playback session."""
+
+    client: str = ""
+    point: str = ""
+    startup_delay: float = 0.0
+    rebuffer_count: int = 0
+    rebuffer_time: float = 0.0
+    duration_watched: float = 0.0
+    media_bytes: int = 0
+    #: media bytes a fault-free run would have delivered (0 = unknown)
+    clean_media_bytes: int = 0
+    #: (position_seconds, new_video_stream) per downshift, in order
+    downshifts: List[Tuple[float, Optional[int]]] = field(default_factory=list)
+    naks_sent: int = 0
+    repairs_received: int = 0
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered fraction of the clean byte count (1.0 if unknown)."""
+        if self.clean_media_bytes <= 0:
+            return 1.0
+        return self.media_bytes / self.clean_media_bytes
+
+    @classmethod
+    def from_report(
+        cls,
+        report: Any,
+        *,
+        clean_media_bytes: int = 0,
+        client: str = "",
+    ) -> "SessionQoE":
+        """Build from a :class:`PlaybackReport` (duck-typed)."""
+        recovery = getattr(report, "recovery", {}) or {}
+        return cls(
+            client=client,
+            point=getattr(report, "point", ""),
+            startup_delay=report.startup_latency,
+            rebuffer_count=report.rebuffer_count,
+            rebuffer_time=report.rebuffer_time,
+            duration_watched=report.duration_watched,
+            media_bytes=report.media_bytes,
+            clean_media_bytes=clean_media_bytes,
+            downshifts=list(getattr(report, "downshifts", ())),
+            naks_sent=recovery.get("naks_sent", 0),
+            repairs_received=recovery.get("repairs_received", 0),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "client": self.client,
+            "point": self.point,
+            "startup_delay": self.startup_delay,
+            "rebuffer_count": self.rebuffer_count,
+            "rebuffer_time": self.rebuffer_time,
+            "duration_watched": self.duration_watched,
+            "media_bytes": self.media_bytes,
+            "clean_media_bytes": self.clean_media_bytes,
+            "delivery_ratio": self.delivery_ratio,
+            "downshifts": [list(d) for d in self.downshifts],
+            "naks_sent": self.naks_sent,
+            "repairs_received": self.repairs_received,
+        }
+
+
+class QoEAggregator:
+    """Folds per-session QoE into distribution summaries."""
+
+    def __init__(self) -> None:
+        self.sessions: List[SessionQoE] = []
+        self.startup = Histogram("startup_delay")
+        self.rebuffer_time = Histogram("rebuffer_time")
+        self.delivery = Histogram("delivery_ratio")
+
+    def add(self, qoe: SessionQoE) -> None:
+        self.sessions.append(qoe)
+        self.startup.record(qoe.startup_delay)
+        self.rebuffer_time.record(qoe.rebuffer_time)
+        self.delivery.record(qoe.delivery_ratio)
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "sessions": len(self.sessions),
+            "startup_delay": self.startup.summary(),
+            "rebuffer_time": self.rebuffer_time.summary(),
+            "delivery_ratio": self.delivery.summary(),
+            "total_rebuffers": sum(q.rebuffer_count for q in self.sessions),
+            "total_downshifts": sum(len(q.downshifts) for q in self.sessions),
+            "total_naks_sent": sum(q.naks_sent for q in self.sessions),
+            "total_repairs_received": sum(
+                q.repairs_received for q in self.sessions
+            ),
+        }

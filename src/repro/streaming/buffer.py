@@ -11,10 +11,26 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..asf.packets import MediaUnit
+
+
+def media_ms(seconds: float) -> int:
+    """A float position in seconds as integer media milliseconds.
+
+    Rounds half-up with a one-nanosecond tolerance so that positions that
+    *mean* a .5 ms boundary land on it regardless of float representation.
+    ``round()`` is wrong here twice over: banker's rounding makes ``.5``
+    boundaries parity-dependent (``round(12.5) == 12`` but
+    ``round(13.5) == 14``), and seek/replay rebasing can leave the product
+    a few ulps *below* the boundary (``12.4999999999999998``), which any
+    plain rounding would push to the previous millisecond — skipping a
+    unit stamped exactly on the boundary.
+    """
+    return math.floor(seconds * 1000.0 + 0.5 + 1e-9)
 
 
 class JitterBuffer:
@@ -42,7 +58,7 @@ class JitterBuffer:
 
     def pop_due(self, position: float) -> List[MediaUnit]:
         """All units with timestamp ≤ ``position`` seconds, in order."""
-        due_ms = round(position * 1000)
+        due_ms = media_ms(position)
         out: List[MediaUnit] = []
         while self._heap and self._heap[0][0] <= due_ms:
             out.append(heapq.heappop(self._heap)[2])
@@ -55,12 +71,15 @@ class JitterBuffer:
         relevant = streams if streams is not None else list(self.horizon_ms)
         if not relevant:
             return 0.0
+        pos_ms = media_ms(position)
         depths = []
         for stream in relevant:
             horizon = self.horizon_ms.get(stream)
             if horizon is None:
                 return 0.0
-            depths.append(horizon / 1000.0 - position)
+            # integer-ms subtraction keeps depth consistent with pop_due:
+            # a unit counted as runway here is exactly one not yet due there
+            depths.append((horizon - pos_ms) / 1000.0)
         return max(0.0, min(depths))
 
     def clear(self) -> None:

@@ -91,6 +91,8 @@ class PlaybackReport:
     media_bytes: int = 0
     #: recovery counters (NAKs, repairs, reconnects, downshifts...)
     recovery: Dict[str, int] = field(default_factory=dict)
+    #: downshift timeline: (position seconds, new video stream) per shift
+    downshifts: List[Tuple[float, Optional[int]]] = field(default_factory=list)
 
     @property
     def max_command_sync_error(self) -> float:
@@ -125,6 +127,7 @@ class MediaPlayer:
         sync_mode: str = "script",
         preroll_override: Optional[float] = None,
         recovery: Optional[RecoveryConfig] = None,
+        tracer=None,
     ) -> None:
         if sync_mode not in ("script", "timer"):
             raise PlayerError(f"unknown sync mode {sync_mode!r}")
@@ -134,6 +137,8 @@ class MediaPlayer:
         self.simulator: Simulator = network.simulator
         self.host = network.add_host(host)
         self.user = user or host
+        self.tracer = tracer  # optional repro.obs.Tracer
+        self._playback_span: Optional[int] = None
         self.license_server = license_server
         self.sync_mode = sync_mode
         self.preroll_override = preroll_override
@@ -168,6 +173,8 @@ class MediaPlayer:
         self._stall_is_underrun = False
         self._start_position = 0.0
         self._stream_ended = False
+        #: (position seconds, new video stream) per accepted downshift
+        self.downshift_log: List[Tuple[float, Optional[int]]] = []
 
         # recovery (opt-in: None keeps the seed's fire-and-forget behavior
         # and schedules not a single extra simulator event)
@@ -276,7 +283,18 @@ class MediaPlayer:
             raise PlayerError("connect() first")
         if self.state is not PlayerState.CONNECTING:
             raise PlayerError(f"cannot play from state {self.state.value}")
+        if self.tracer is not None and self._playback_span is None:
+            self._playback_span = self.tracer.begin(
+                "playback", client=self.user, point=self._point
+            )
         self._control("open", point=self._point, deliver=self._on_packet)
+        if self.tracer is not None:
+            self.tracer.event(
+                "session.attach",
+                span=self._playback_span,
+                client=self.user,
+                session=self.session_id,
+            )
         self._control(
             "play", session_id=self.session_id, start=start,
             burst_factor=burst_factor,
@@ -316,6 +334,7 @@ class MediaPlayer:
                 runway=self._recovery_runway,
                 on_downshift=self._request_downshift,
                 counters=self.recovery_stats,
+                tracer=self.tracer,
             )
         self._depacketizer.on_gap = self._on_sequence_gap
         self._recovery.note_arrival()
@@ -361,6 +380,13 @@ class MediaPlayer:
     def _begin_reconnect(self, now: float) -> None:
         """The watchdog fired: delivery stalled (crash or partition)."""
         self.recovery_stats.inc("stalls_detected")
+        if self.tracer is not None:
+            self.tracer.event(
+                "playback.stall",
+                span=self._playback_span,
+                client=self.user,
+                position=self.position,
+            )
         self._reconnecting = True
         self._reconnect_attempts = 0
         if self._recovery is not None:
@@ -431,6 +457,13 @@ class MediaPlayer:
             self._reconnecting = False
             self._reconnect_attempts = 0
             self.recovery_stats.inc("reconnects")
+            if self.tracer is not None:
+                self.tracer.event(
+                    "playback.reconnect",
+                    span=self._playback_span,
+                    client=self.user,
+                    session=self.session_id,
+                )
             if self._recovery is not None:
                 self._recovery.reset()
             self._arm_recovery()
@@ -462,6 +495,15 @@ class MediaPlayer:
             self._media_streams.remove(old_video)
         if new_video is not None and new_video not in self._media_streams:
             self._pending_streams.add(new_video)
+        self.downshift_log.append((self.position, new_video))
+        if self.tracer is not None:
+            self.tracer.event(
+                "playback.downshift",
+                span=self._playback_span,
+                client=self.user,
+                position=self.position,
+                video=new_video,
+            )
         return True
 
     # ------------------------------------------------------------------
@@ -560,6 +602,14 @@ class MediaPlayer:
         due = self._buffer.pop_due(position)
         for unit in due:
             self.rendered.append(RenderedUnit(now, position, unit))
+            if self.tracer is not None:
+                self.tracer.event(
+                    "render.unit",
+                    span=self._playback_span,
+                    client=self.user,
+                    stream=unit.stream_number,
+                    ts=unit.timestamp_ms,
+                )
         if self.sync_mode == "script" and self._dispatcher is not None:
             self._dispatcher.advance_to(position)
         elif self.sync_mode == "timer":
@@ -594,6 +644,13 @@ class MediaPlayer:
         if self._stall_started is not None:
             if self._stall_is_underrun:
                 self.rebuffer_time += now - self._stall_started
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "rebuffer.end",
+                        span=self._playback_span,
+                        client=self.user,
+                        duration=now - self._stall_started,
+                    )
             self._stall_started = None
             self._clock.resume(now)
         elif not self._clock.started:
@@ -615,6 +672,18 @@ class MediaPlayer:
             self._first_render = now
             if self.sync_mode == "timer":
                 self._timer_origin = now
+            if self.tracer is not None:
+                startup = (
+                    now - self._connect_time
+                    if self._connect_time is not None
+                    else 0.0
+                )
+                self.tracer.event(
+                    "playback.start",
+                    span=self._playback_span,
+                    client=self.user,
+                    startup=startup,
+                )
         self.state = PlayerState.PLAYING
 
     def _enter_rebuffer(self, now: float) -> None:
@@ -623,6 +692,13 @@ class MediaPlayer:
         self._stall_started = now
         self._stall_is_underrun = True
         self._clock.pause(now)
+        if self.tracer is not None:
+            self.tracer.event(
+                "rebuffer.begin",
+                span=self._playback_span,
+                client=self.user,
+                position=self.position,
+            )
         if (
             self._recovery is not None
             and not self._reconnecting
@@ -676,6 +752,13 @@ class MediaPlayer:
             except (PlayerError, HTTPError):
                 pass
             self.session_id = None
+        if self.tracer is not None and self._playback_span is not None:
+            self.tracer.end(
+                self._playback_span,
+                rendered=len(self.rendered),
+                rebuffers=self.rebuffer_count,
+            )
+            self._playback_span = None
 
     # ------------------------------------------------------------------
     # user interactions
@@ -705,6 +788,13 @@ class MediaPlayer:
             raise PlayerError(f"cannot seek from {self.state.value}")
         now = self.simulator.now
         was_paused = self.state is PlayerState.PAUSED
+        if self.tracer is not None:
+            self.tracer.event(
+                "playback.seek",
+                span=self._playback_span,
+                client=self.user,
+                position=position,
+            )
         self._control("seek", session_id=self.session_id, position=position)
         if was_paused:
             self._control("resume", session_id=self.session_id)
@@ -775,6 +865,7 @@ class MediaPlayer:
             duration_watched=self.position,
             media_bytes=media_bytes,
             recovery=self.recovery_stats.as_dict(),
+            downshifts=list(self.downshift_log),
         )
 
     def mark_stream_ended(self) -> None:

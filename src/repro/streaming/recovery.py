@@ -90,6 +90,7 @@ class RecoveryClient:
         runway: Callable[[], float],
         on_downshift: Callable[[], bool],
         counters: Optional[Counters] = None,
+        tracer=None,
     ) -> None:
         self.simulator = simulator
         self.config = config
@@ -97,6 +98,7 @@ class RecoveryClient:
         self.runway = runway
         self.on_downshift = on_downshift
         self.counters = counters if counters is not None else Counters("recovery")
+        self.tracer = tracer  # optional repro.obs.Tracer
         self._pending: Dict[int, int] = {}  # sequence -> attempts so far
         self._timer: Optional[EventHandle] = None
         self._abandons: List[float] = []  # recent abandon times
@@ -121,6 +123,8 @@ class RecoveryClient:
         for seq in fresh:
             self._pending[seq] = 0
         self.counters.inc("gaps_observed", len(fresh))
+        if self.tracer is not None:
+            self.tracer.event("gap.observed", count=len(fresh))
         if self._timer is None:
             self._arm(self.config.nak_delay)
 
@@ -155,6 +159,8 @@ class RecoveryClient:
         if due:
             self.counters.inc("naks_sent")
             self.counters.inc("sequences_nacked", len(due))
+            if self.tracer is not None:
+                self.tracer.event("nak.sent", count=len(due))
             self.send_nak(tuple(due))
         if self._pending:
             self._arm(self.config.nak_timeout)
@@ -162,6 +168,8 @@ class RecoveryClient:
     def _abandon(self, seq: int) -> None:
         del self._pending[seq]
         self.counters.inc("repairs_abandoned")
+        if self.tracer is not None:
+            self.tracer.event("repair.abandoned", sequence=seq)
         now = self.simulator.now
         window = self.config.downshift_cooldown
         self._abandons = [t for t in self._abandons if now - t <= window]

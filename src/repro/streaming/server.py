@@ -195,6 +195,7 @@ class MediaServer:
         qos_enabled: bool = False,
         pacing_quantum: float = 0.0,
         shared_pacing: bool = True,
+        tracer=None,
     ) -> None:
         if pacing_quantum < 0:
             raise PublishError("pacing_quantum must be >= 0")
@@ -202,8 +203,9 @@ class MediaServer:
         self.simulator: Simulator = network.simulator
         self.host = network.add_host(host)
         self.port = port
+        self.tracer = tracer  # optional repro.obs.Tracer
         self.points: Dict[str, PublishingPoint] = {}
-        self.sessions = SessionTable()
+        self.sessions = SessionTable(tracer=tracer)
         self.qos_enabled = qos_enabled
         self.pacing_quantum = pacing_quantum
         self.shared_pacing = shared_pacing
@@ -300,7 +302,12 @@ class MediaServer:
         self._select_renditions(session, point)
         if self.qos_enabled:
             manager = self._qos.setdefault(
-                client_host, QoSManager(self.network.link(self.host, client_host))
+                client_host,
+                QoSManager(
+                    self.network.link(self.host, client_host),
+                    tracer=self.tracer,
+                    label=client_host,
+                ),
             )
             spec = QoSSpec(bandwidth=max(self._session_bitrate(session, point), 1.0))
             try:
@@ -464,6 +471,10 @@ class MediaServer:
             return
         self.crashed = True
         self.crash_count += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "server.crash", host=self.host, sessions=len(self.sessions)
+            )
         for session in self.sessions.all():
             self._stop_session_pacing(session)
             self._release_reservation(session)
@@ -479,6 +490,8 @@ class MediaServer:
         clients must reopen.
         """
         self.crashed = False
+        if self.tracer is not None:
+            self.tracer.event("server.restart", host=self.host)
 
     # ------------------------------------------------------------------
     # recovery: NAK-driven selective retransmit + graceful degradation
@@ -522,6 +535,13 @@ class MediaServer:
             batch.append(entry[0])
             wire += entry[1]
         if batch:
+            if self.tracer is not None:
+                self.tracer.event(
+                    "repair.sent",
+                    session=session.session_id,
+                    count=len(batch),
+                    bytes=wire,
+                )
             self._send_train(session, batch, wire)
             session.retransmits_sent += len(batch)
             self.recovery_stats.inc("repairs_sent", len(batch))
@@ -588,6 +608,12 @@ class MediaServer:
         )
         session.downshifts += 1
         self.recovery_stats.inc("downshifts")
+        if self.tracer is not None:
+            self.tracer.event(
+                "session.downshift",
+                session=session.session_id,
+                video=chosen.stream_number,
+            )
         if session.reservation is not None:
             manager = self._qos[session.client_host]
             manager.release(session.reservation)
@@ -746,6 +772,8 @@ class MediaServer:
                 break
             train.append(group.cursor)
             group.cursor += 1
+        delivered: List[int] = []
+        total_wire = 0
         for session in list(group.members.values()):
             if session.state is not SessionState.STREAMING:
                 continue
@@ -758,7 +786,21 @@ class MediaServer:
                 batch.append(entry[0])
                 wire += entry[1]
             if batch:
-                self._send_train(session, batch, wire)
+                self._send_train(session, batch, wire, traced=False)
+                delivered.append(session.session_id)
+                total_wire += wire
+        if self.tracer is not None and delivered:
+            # one record per group fire, not per member — tracing must not
+            # reintroduce the O(sessions) per-train work the shared pacing
+            # group exists to avoid
+            self.tracer.event(
+                "packet.train",
+                sessions=delivered,
+                count=len(train),
+                bytes=total_wire,
+                first_seq=packets[train[0]].sequence,
+                last_seq=packets[train[-1]].sequence,
+            )
         for session in group.members.values():
             session.packet_cursor = group.cursor
         if group.cursor >= len(packets):
@@ -836,9 +878,27 @@ class MediaServer:
             session.deliver(payload)
 
     def _send_train(
-        self, session: StreamSession, packets: List[DataPacket], wire_size: int
+        self,
+        session: StreamSession,
+        packets: List[DataPacket],
+        wire_size: int,
+        traced: bool = True,
     ) -> None:
-        """Ship a train as one wire message (one serialization, one arrival)."""
+        """Ship a train as one wire message (one serialization, one arrival).
+
+        ``traced=False`` lets the shared-pacing fan-out emit a single
+        aggregated ``packet.train`` record for the whole group instead of
+        one per member.
+        """
+        if traced and self.tracer is not None:
+            self.tracer.event(
+                "packet.train",
+                session=session.session_id,
+                count=len(packets),
+                bytes=wire_size,
+                first_seq=packets[0].sequence,
+                last_seq=packets[-1].sequence,
+            )
         payload = packets[0] if len(packets) == 1 else packets
         self._channel_for(session).send(Message(payload, wire_size))
         session.packets_sent += len(packets)

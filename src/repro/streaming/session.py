@@ -92,7 +92,7 @@ class StreamSession:
 class SessionTable:
     """Registry of live sessions on a media server."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, tracer=None) -> None:
         self._sessions: Dict[int, StreamSession] = {}
         #: point name -> {session_id: session}; closed sessions are removed,
         #: so per-point lookups never scan the whole table
@@ -102,6 +102,7 @@ class SessionTable:
         self._active: Dict[int, StreamSession] = {}
         self._ids = itertools.count(1)
         self.total_created = 0
+        self.tracer = tracer  # optional repro.obs.Tracer
 
     def create(
         self,
@@ -122,6 +123,14 @@ class SessionTable:
         self._by_point.setdefault(point, {})[session.session_id] = session
         session._observer = self._track_state
         self.total_created += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "session.open",
+                session=session.session_id,
+                point=point,
+                client=client_host,
+                broadcast=broadcast,
+            )
         return session
 
     def _track_state(self, session: StreamSession) -> None:
@@ -146,6 +155,14 @@ class SessionTable:
             bucket.pop(session_id, None)
             if not bucket:
                 del self._by_point[session.point]
+        if self.tracer is not None:
+            self.tracer.event(
+                "session.close",
+                session=session_id,
+                point=session.point,
+                packets_sent=session.packets_sent,
+                bytes_sent=session.bytes_sent,
+            )
         return session
 
     def active_sessions(self) -> List[StreamSession]:
@@ -162,3 +179,42 @@ class SessionTable:
 
     def __len__(self) -> int:
         return len(self._sessions)
+
+    def assert_consistent(self) -> None:
+        """Audit the three indexes against each other.
+
+        Raises :class:`SessionError` if any closed session is still
+        registered, the active index disagrees with session state, or the
+        per-point buckets drifted from the main table — the leak classes
+        that `close()` on every teardown path must prevent.
+        """
+        problems: List[str] = []
+        for sid, session in self._sessions.items():
+            if session.state is SessionState.CLOSED:
+                problems.append(f"closed session {sid} still in table")
+            if session.active and sid not in self._active:
+                problems.append(f"active session {sid} missing from index")
+            bucket = self._by_point.get(session.point, {})
+            if sid not in bucket:
+                problems.append(
+                    f"session {sid} missing from point bucket {session.point!r}"
+                )
+        for sid, session in self._active.items():
+            if sid not in self._sessions:
+                problems.append(f"active index has unregistered session {sid}")
+            elif not session.active:
+                problems.append(
+                    f"active index has {session.state.value} session {sid}"
+                )
+        for point, bucket in self._by_point.items():
+            if not bucket:
+                problems.append(f"empty bucket left for point {point!r}")
+            for sid in bucket:
+                if sid not in self._sessions:
+                    problems.append(
+                        f"point bucket {point!r} holds unregistered session {sid}"
+                    )
+        if problems:
+            raise SessionError(
+                "session table inconsistent: " + "; ".join(problems)
+            )

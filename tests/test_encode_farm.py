@@ -23,6 +23,7 @@ from repro.asf import (
     JOB_VIDEO,
     START_METHOD,
     run_encode_job,
+    run_job_with_deltas,
 )
 from repro.lod import Lecture, LODPublisher
 from repro.media import get_profile
@@ -157,6 +158,46 @@ class TestReuse:
         before = bag.get("encodes")
         EncodeFarm(0).encode_batch([video_job(seed="counted")])
         assert bag.get("encodes") == before + 1
+
+
+class TestCounterParity:
+    """Regression: pool workers used to lose their registry increments.
+
+    ``spawn`` children own a private process-global counter registry, so
+    codec-run tallies made inside a worker died with it — a parallel
+    publish under-reported ``codec_runs``/``encoded_bytes`` versus the
+    identical serial run. The fix returns each job's counter delta with
+    its result (:func:`run_job_with_deltas`) and merges it in the parent.
+    """
+
+    def batch(self):
+        return [video_job(seed=f"parity{i}") for i in range(6)]
+
+    def run_and_delta(self, farm):
+        bag = get_counters("encode_farm")
+        before = (bag.get("codec_runs"), bag.get("encoded_bytes"))
+        streams = farm.encode_batch(self.batch())
+        return streams, (
+            bag.get("codec_runs") - before[0],
+            bag.get("encoded_bytes") - before[1],
+        )
+
+    def test_serial_and_four_worker_totals_identical(self):
+        serial_streams, serial_delta = self.run_and_delta(EncodeFarm(0))
+        with EncodeFarm(4) as farm:
+            parallel_streams, parallel_delta = self.run_and_delta(farm)
+            assert farm.pool_started
+        # the bug: parallel used to report (0, 0) here
+        assert serial_delta == parallel_delta
+        assert serial_delta[0] == 6
+        assert serial_delta[1] == sum(s.total_size for s in serial_streams)
+        assert parallel_streams == serial_streams
+
+    def test_run_job_with_deltas_reports_per_job_increment(self):
+        stream, deltas = run_job_with_deltas(video_job(seed="delta"))
+        farm_delta = deltas["encode_farm"]
+        assert farm_delta["codec_runs"] == 1
+        assert farm_delta["encoded_bytes"] == stream.total_size
 
 
 class TestByteIdentity:

@@ -308,6 +308,46 @@ class TestFloorControl:
         with pytest.raises(ValueError):
             FloorControl(["a"]).advance(-1)
 
+    def test_drop_holder_frees_floor_and_grants_next_waiter(self):
+        fc = FloorControl(["a", "b", "c"])
+        fc.request("a")
+        fc.request("b")
+        assert fc.drop("a") == "b"
+        assert fc.holder == "b"
+        # the net invariant held throughout: exactly one token of authority
+        marking = fc.net.marking
+        assert marking["floor"] + sum(
+            marking[f"holding_{u}"] for u in fc.users
+        ) == 1
+
+    def test_drop_holder_with_empty_queue_leaves_floor_free(self):
+        fc = FloorControl(["a", "b"])
+        fc.request("a")
+        assert fc.drop("a") is None
+        assert fc.holder is None
+        assert fc.request("b") is True  # floor is genuinely reusable
+
+    def test_drop_waiter_removes_from_queue(self):
+        fc = FloorControl(["a", "b", "c"])
+        fc.request("a")
+        fc.request("b")
+        fc.request("c")
+        assert fc.drop("b") is None
+        assert fc.holder == "a"
+        fc.release("a")
+        # b was dropped while waiting: the grant skips straight to c
+        assert fc.holder == "c"
+
+    def test_drop_bystander_is_a_noop(self):
+        fc = FloorControl(["a", "b"])
+        fc.request("a")
+        assert fc.drop("b") is None
+        assert fc.holder == "a"
+
+    def test_drop_unknown_user_rejected(self):
+        with pytest.raises(KeyError):
+            FloorControl(["a"]).drop("zzz")
+
 
 class TestDistributedCoordinator:
     def test_commands_replicate(self):

@@ -169,6 +169,15 @@ class TestWebPublishingManager:
         assert response.body["profile"] == "isdn-dual"
         assert response.body["verification_error"] <= 1e-3
 
+    def test_form_malformed_body_400(self, world):
+        net, _, _, _, _ = world
+        client = HTTPClient(net, "teacher")
+        response = client.post(
+            "http://server:8080/publish", body=b"\x00not-a-form"
+        )
+        assert response.status == 400
+        assert "publish form" in response.body
+
     def test_form_missing_fields_400(self, world):
         net, _, _, _, _ = world
         client = HTTPClient(net, "teacher")

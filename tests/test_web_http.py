@@ -126,6 +126,54 @@ class TestNetworkPlumbing:
             network.link("same", "same")
 
 
+class TestErrorPaths:
+    """Timeout/error-path coverage: late responses must stay harmless."""
+
+    def test_timeout_delivers_late_response_exactly_once(self, net):
+        # the link is slow enough that the response lands after the
+        # client's deadline: fetch raises, but the in-flight exchange is
+        # still on the simulator and must complete exactly once, harmlessly
+        net.connect("slowpoke", "server", bandwidth=1e6, delay=3.0)
+        srv = HTTPServer(net, "server", 7300)
+        served = []
+        srv.route("GET", "/", lambda r: served.append(1) or HTTPResponse(200))
+        client = HTTPClient(net, "slowpoke", timeout=2.0)
+        with pytest.raises(HTTPError, match="timeout"):
+            client.get("http://server:7300/")
+        net.simulator.run()  # drain the abandoned exchange
+        assert served == [1]
+        assert srv.requests_served == 1
+
+    def test_timed_out_client_can_retry_on_a_healed_link(self, net):
+        net.connect("retrier", "server", bandwidth=1e6, delay=0.01,
+                    loss_rate=0.999)
+        srv = HTTPServer(net, "server", 7400)
+        srv.route("GET", "/", lambda r: HTTPResponse(200, body="ok"))
+        client = HTTPClient(net, "retrier", timeout=1.0)
+        with pytest.raises(HTTPError):
+            client.get("http://server:7400/")
+        net.link("retrier", "server").set_loss(loss_rate=0.0)
+        net.link("server", "retrier").set_loss(loss_rate=0.0)
+        net.simulator.run()
+        assert client.get("http://server:7400/").body == "ok"
+
+    def test_unknown_route_error_is_well_formed(self, server, client):
+        response = client.get("http://server:8080/definitely/not/there")
+        assert response.status == 404 and not response.ok
+        assert "GET" in response.body and "/definitely/not/there" in response.body
+        assert response.wire_size() > 0
+
+    def test_handler_exceptions_other_than_httperror_propagate(self, net, client):
+        srv = HTTPServer(net, "server", 7500)
+
+        def broken(request):
+            raise ValueError("bug, not a bad request")
+
+        srv.route("GET", "/", broken)
+        with pytest.raises(ValueError):
+            client.get("http://server:7500/")
+
+
 class TestForms:
     def test_round_trip(self):
         fields = {"path": "/videos/lec.mpg", "slides": "/slides dir/", "port": "8080"}
