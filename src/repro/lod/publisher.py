@@ -143,6 +143,7 @@ class WebPublishingManager:
         default_profile: str = "dsl-256k",
         encode_cache: Optional[EncodeCache] = None,
         farm: Optional[EncodeFarm] = None,
+        edge_directory=None,
         tracer=None,
     ) -> None:
         self.media_server = media_server
@@ -151,6 +152,10 @@ class WebPublishingManager:
         self.default_profile = default_profile
         self.encode_cache = encode_cache
         self.farm = farm
+        #: optional repro.streaming.edge.EdgeDirectory: when the serving
+        #: tier is distributed, playback_url() hands each student their
+        #: placed edge instead of the origin URL
+        self.edge_directory = edge_directory
         self.tracer = tracer  # optional repro.obs.Tracer
         self.published: Dict[str, PublishedLecture] = {}
         media_server.http.route("POST", "/publish", self._handle_publish_form)
@@ -199,6 +204,19 @@ class WebPublishingManager:
         )
         self.published[point] = record
         return record
+
+    def playback_url(self, client_host: str, point: str) -> str:
+        """The URL one student should stream from.
+
+        With an edge directory this is the client's consistent-hash
+        placement (origin fallback included when the directory has one);
+        without, it is the origin URL the record already carries.
+        """
+        if point not in self.published:
+            raise PublishFormError(f"nothing published at {point!r}")
+        if self.edge_directory is not None:
+            return self.edge_directory.url_for(client_host, point)
+        return self.media_server.url_of(point)
 
     def content_tree_of(self, point: str):
         if point not in self.published:

@@ -146,6 +146,17 @@ class FaultPlan:
             self.add(FaultAction(restart_at, "server_restart", (label,)))
         return self
 
+    def edge_crash(
+        self, label: str, *, at: float, restart_at: Optional[float] = None
+    ) -> "FaultPlan":
+        """Kill a named edge relay; optionally restart it later.
+
+        Relays expose the same ``crash()``/``restart()`` hooks as the
+        origin server, so this reuses the server fault kinds — the alias
+        exists so chaos timelines read as what they target.
+        """
+        return self.server_crash(label, at=at, restart_at=restart_at)
+
     def sorted_actions(self) -> List[FaultAction]:
         return sorted(
             self.actions, key=lambda a: (a.at, KINDS.index(a.kind))
@@ -177,6 +188,13 @@ class FaultInjector:
 
     def register_server(self, label: str, server: Any) -> None:
         self.servers[label] = server
+
+    def register_directory(self, directory: Any) -> None:
+        """Register every relay of an edge directory under its edge name,
+        so plans can target ``edge_crash("edge0", ...)`` directly."""
+        for name, relay in directory.relays().items():
+            if relay is not None:
+                self.register_server(name, relay)
 
     def apply(self, plan: FaultPlan) -> int:
         """Schedule every action of ``plan``; returns the count scheduled."""

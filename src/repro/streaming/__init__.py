@@ -1,4 +1,4 @@
-"""Streaming: media server, sessions, jitter-buffered player."""
+"""Streaming: media server, edge-relay tier, sessions, jitter-buffered player."""
 
 from .buffer import JitterBuffer
 from .client import (
@@ -9,16 +9,27 @@ from .client import (
     PlayerState,
     RenderedUnit,
 )
+from .edge import (
+    EdgeDirectory,
+    EdgeRelay,
+    PacketRunCache,
+    PlacementError,
+    build_edge_tier,
+)
 from .recovery import NakRequest, RecoveryClient, RecoveryConfig
 from .server import MediaServer, PublishError, PublishingPoint
 from .session import SessionError, SessionState, SessionTable, StreamSession
 
 __all__ = [
+    "EdgeDirectory",
+    "EdgeRelay",
     "FiredCommand",
     "JitterBuffer",
     "MediaPlayer",
     "MediaServer",
     "NakRequest",
+    "PacketRunCache",
+    "PlacementError",
     "PlaybackReport",
     "PlayerError",
     "PlayerState",
@@ -31,4 +42,5 @@ __all__ = [
     "SessionState",
     "SessionTable",
     "StreamSession",
+    "build_edge_tier",
 ]

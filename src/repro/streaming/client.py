@@ -127,6 +127,7 @@ class MediaPlayer:
         sync_mode: str = "script",
         preroll_override: Optional[float] = None,
         recovery: Optional[RecoveryConfig] = None,
+        directory=None,
         tracer=None,
     ) -> None:
         if sync_mode not in ("script", "timer"):
@@ -142,6 +143,10 @@ class MediaPlayer:
         self.license_server = license_server
         self.sync_mode = sync_mode
         self.preroll_override = preroll_override
+        #: optional repro.streaming.edge.EdgeDirectory — when set, every
+        #: reconnect re-resolves the serving URL, so a crashed edge relay
+        #: re-routes the player to a surviving one
+        self.directory = directory
         self.http = HTTPClient(network, host)
 
         self.state = PlayerState.IDLE
@@ -186,10 +191,14 @@ class MediaPlayer:
         self._reconnecting = False
         self._reconnect_attempts = 0
         self._reconnect_timer: Optional[EventHandle] = None
-        #: old session ids whose close was swallowed by a partition — the
-        #: server still thinks they stream (and holds their QoS channels),
-        #: so every later attempt retries the close until one lands
-        self._orphan_sessions: List[int] = []
+        #: old (server url, session id) pairs whose close was swallowed by
+        #: a partition — that server still thinks they stream (and holds
+        #: their QoS channels), so every later attempt retries the close
+        #: until one lands. Keyed by URL: after a directory re-route the
+        #: orphan lives on the *old* edge, and session ids are only unique
+        #: per server, so closing a bare id elsewhere could kill an
+        #: innocent session
+        self._orphan_sessions: List[Tuple[str, int]] = []
         #: streams granted by a downshift but not yet seen on the wire —
         #: excluded from buffer-depth accounting until data arrives, so a
         #: shift doesn't instantly register as an underrun
@@ -377,6 +386,54 @@ class MediaPlayer:
                 base = max(base, min(horizons) / 1000.0)
         return base
 
+    def _resolve_placement(self) -> None:
+        """Re-ask the edge directory where this client should be served.
+
+        A crashed or full edge re-routes the player to the next ring
+        node; when the target changes, the NAK channel is dropped so the
+        next :meth:`_arm_recovery` rebuilds it toward the new host.
+        Placement failures (every edge down) become :class:`PlayerError`
+        so the reconnect backoff keeps retrying them.
+        """
+        if self.directory is None or self._point is None:
+            return
+        try:
+            url = self.directory.url_for(self.host, self._point)
+        except Exception as exc:
+            raise PlayerError(f"placement failed: {exc}") from exc
+        base = url.rsplit("/lod/", 1)[0]
+        if base != self._server_url:
+            self.recovery_stats.inc("reroutes")
+            if self.tracer is not None:
+                self.tracer.event(
+                    "playback.reroute",
+                    span=self._playback_span,
+                    client=self.user,
+                    target=base,
+                )
+            self._server_url = base
+            self._nak_channel = None  # points at the old server's link
+
+    def _close_orphans(self) -> None:
+        """Retry closing sessions stranded on this or previous servers."""
+        for url, orphan in list(self._orphan_sessions):
+            try:
+                # direct post, not _control: the orphan must be closed on
+                # the server it lives on, not the current target. Any
+                # answer settles it — non-OK means the session is already
+                # gone (crash wiped it)
+                self.http.post(
+                    f"{url}/control/close", body={"session_id": orphan}
+                )
+                self._orphan_sessions.remove((url, orphan))
+            except HTTPError:
+                if url == self._server_url:
+                    # the current target is unreachable: the open below
+                    # would fail too, so surface it to the backoff loop
+                    raise
+                # an *old* edge being down must not block re-routing to a
+                # live one; keep the orphan for a later sweep
+
     def _begin_reconnect(self, now: float) -> None:
         """The watchdog fired: delivery stalled (crash or partition)."""
         self.recovery_stats.inc("stalls_detected")
@@ -411,20 +468,14 @@ class MediaPlayer:
         self.http.timeout = min(saved_timeout, 2.0)
         try:
             if self.session_id is not None:
-                self._orphan_sessions.append(self.session_id)
+                self._orphan_sessions.append(
+                    (self._server_url, self.session_id)
+                )
                 self.session_id = None
-            # close old sessions first so the server frees their QoS
+            self._resolve_placement()
+            # close old sessions first so their servers free the QoS
             # channels before the new open reserves another
-            for orphan in list(self._orphan_sessions):
-                try:
-                    self._control("close", session_id=orphan)
-                    self._orphan_sessions.remove(orphan)
-                except PlayerError:
-                    # the server answered but no longer knows the session
-                    # (crash wiped it): nothing left to close
-                    self._orphan_sessions.remove(orphan)
-                # HTTPError (no answer at all) propagates: the control
-                # plane is still dead, so the open below would fail too
+            self._close_orphans()
             resume_at = self._reconnect_position()
             self._control("open", point=self._point, deliver=self._on_packet)
             if self._broadcast:
@@ -740,10 +791,12 @@ class MediaPlayer:
             self._reconnect_timer = None
         if self._recovery is not None:
             self._recovery.reset()  # cancel any armed NAK timer
-        for orphan in self._orphan_sessions:
+        for url, orphan in self._orphan_sessions:
             try:
-                self._control("close", session_id=orphan)
-            except (PlayerError, HTTPError):
+                self.http.post(
+                    f"{url}/control/close", body={"session_id": orphan}
+                )
+            except HTTPError:
                 pass
         self._orphan_sessions.clear()
         if self.session_id is not None:

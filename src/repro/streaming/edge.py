@@ -1,0 +1,918 @@
+"""The distributed edge-relay serving tier.
+
+The paper promises a *distributed* lecture-on-demand system; a single
+:class:`~repro.streaming.server.MediaServer` caps out at O(clients)
+origin egress. This module puts relays between the origin and the
+viewers, the way Cycon et al.'s distributed e-learning system scales:
+
+* :class:`EdgeRelay` — a :class:`MediaServer` subclass that *fills* its
+  local copy of a publishing point from an origin over one replica
+  session, then re-paces to its own clients with the inherited shared
+  schedule/pacing-group machinery. All clients behind one edge watching
+  one point share a single origin session (**request coalescing**).
+* :class:`PacketRunCache` — LRU + byte-budget cache of filled packet
+  runs, keyed by :meth:`~repro.asf.stream.ASFFile.fingerprint`, so
+  repeat viewers, seek/replay, and a restarted edge never touch the
+  origin's data path again (hit/miss counters in the process-global
+  ``edge_cache`` bag).
+* :class:`EdgeDirectory` — consistent-hash ring (virtual nodes, seeded
+  sha1 so placement is deterministic and independent of
+  ``PYTHONHASHSEED``) placing clients on edges, with admission control
+  (capacity) and overflow spill to the next ring node.
+* :func:`build_edge_tier` — topology construction: per-edge backbone
+  links, relays, and a populated directory in one call.
+
+Relays speak the same control plane as the origin, so
+:class:`~repro.streaming.client.MediaPlayer` /
+:class:`~repro.streaming.recovery.RecoveryClient` NAK, downshift, and
+reconnect against an edge unchanged; an edge crash re-routes the client
+through the directory to a surviving edge.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import math
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from urllib.parse import urlparse
+
+from ..asf.packets import DataPacket
+from ..asf.stream import ASFFile, ASFLiveStream
+from ..metrics.counters import Counters, get_counters
+from ..net.transport import DatagramChannel, Message
+from ..web.http import HTTPClient, HTTPError, HTTPRequest, HTTPResponse, VirtualNetwork
+from .recovery import NAK_WIRE_SIZE, NakRequest
+from .server import MediaServer, PublishError
+from .session import SessionError, SessionState, StreamSession
+
+
+class PlacementError(Exception):
+    """No edge can admit the client (all down or at capacity)."""
+
+
+# ----------------------------------------------------------------------
+# packet-run cache
+# ----------------------------------------------------------------------
+
+
+class PacketRunCache:
+    """LRU byte-budgeted cache of filled packet runs.
+
+    Entries are whole :class:`~repro.asf.stream.ASFFile` replicas keyed
+    by content fingerprint; the charged size is the packed wire image
+    (what the run costs to hold), computed from the file's memoized
+    :meth:`~repro.asf.stream.ASFFile.packed_packets`. Eviction is LRU
+    but never evicts the entry just inserted — a run larger than the
+    whole budget still serves its current viewers, it just won't keep
+    neighbours around.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_bytes: int = 64 * 1024 * 1024,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError("cache budget must be positive")
+        self.max_bytes = max_bytes
+        self.counters = counters if counters is not None else get_counters("edge_cache")
+        self._entries: "OrderedDict[str, ASFFile]" = OrderedDict()
+        self._sizes: Dict[str, int] = {}
+        self.bytes_cached = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> List[str]:
+        """Keys from least- to most-recently used."""
+        return list(self._entries)
+
+    def lookup(self, key: str) -> Optional[ASFFile]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.counters.inc("misses")
+            return None
+        self._entries.move_to_end(key)
+        self.counters.inc("hits")
+        return entry
+
+    def store(self, key: str, asf: ASFFile) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        size = len(asf.header.pack()) + sum(
+            len(blob) for blob in asf.packed_packets()
+        )
+        self._entries[key] = asf
+        self._sizes[key] = size
+        self.bytes_cached += size
+        self.counters.inc("insertions")
+        self.counters.inc("bytes_inserted", size)
+        while self.bytes_cached > self.max_bytes and len(self._entries) > 1:
+            victim, _ = self._entries.popitem(last=False)
+            freed = self._sizes.pop(victim)
+            self.bytes_cached -= freed
+            self.counters.inc("evictions")
+            self.counters.inc("bytes_evicted", freed)
+
+
+# ----------------------------------------------------------------------
+# consistent-hash directory
+# ----------------------------------------------------------------------
+
+
+class _EdgeEntry:
+    __slots__ = ("name", "url", "relay", "capacity", "down", "manual_load")
+
+    def __init__(
+        self,
+        name: str,
+        url: Optional[str],
+        relay: Optional["EdgeRelay"],
+        capacity: Optional[int],
+    ) -> None:
+        self.name = name
+        self.url = url
+        self.relay = relay
+        self.capacity = capacity
+        self.down = False
+        self.manual_load = 0
+
+    def load(self) -> int:
+        if self.relay is not None:
+            return len(self.relay.sessions)
+        return self.manual_load
+
+    def available(self) -> bool:
+        if self.down:
+            return False
+        if self.relay is not None and self.relay.crashed:
+            return False
+        if self.capacity is not None and self.load() >= self.capacity:
+            return False
+        return True
+
+
+class EdgeDirectory:
+    """Consistent-hash placement of clients onto edge relays.
+
+    Each edge owns ``vnodes`` points on a 64-bit sha1 ring (salted by
+    ``seed``); a client key walks clockwise from its own hash and takes
+    the first *available* edge — not down, not crashed, under capacity.
+    The ring gives the two properties the tier needs: deterministic
+    placement under a fixed seed, and bounded reshuffle when an edge
+    joins or leaves (only keys whose arc changed move).
+
+    ``origin_url`` is the optional last resort: when every edge refuses,
+    :meth:`url_for` falls back to serving straight from the origin
+    instead of raising :class:`PlacementError`.
+    """
+
+    def __init__(
+        self,
+        *,
+        vnodes: int = 64,
+        seed: int = 0,
+        origin_url: Optional[str] = None,
+    ) -> None:
+        if vnodes <= 0:
+            raise PlacementError("vnodes must be positive")
+        self.vnodes = vnodes
+        self.seed = seed
+        self.origin_url = origin_url.rstrip("/") if origin_url else None
+        self._edges: Dict[str, _EdgeEntry] = {}
+        self._ring: List[Tuple[int, str]] = []  # (hash, edge name), sorted
+
+    # -- membership -----------------------------------------------------
+
+    def add_edge(
+        self,
+        name: str,
+        *,
+        relay: Optional["EdgeRelay"] = None,
+        url: Optional[str] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if name in self._edges:
+            raise PlacementError(f"edge {name!r} already registered")
+        if relay is not None and url is None:
+            url = f"http://{relay.host}:{relay.port}"
+        if url is None:
+            raise PlacementError(f"edge {name!r} needs a relay or a url")
+        self._edges[name] = _EdgeEntry(name, url.rstrip("/"), relay, capacity)
+        for v in range(self.vnodes):
+            self._ring.append((self._hash(f"{name}#{v}"), name))
+        self._ring.sort()
+
+    def remove_edge(self, name: str) -> None:
+        if name not in self._edges:
+            raise PlacementError(f"no edge {name!r}")
+        del self._edges[name]
+        self._ring = [(h, n) for h, n in self._ring if n != name]
+
+    def mark_down(self, name: str) -> None:
+        self._entry(name).down = True
+
+    def mark_up(self, name: str) -> None:
+        self._entry(name).down = False
+
+    def set_load(self, name: str, load: int) -> None:
+        """Manual load for relay-less (url-only) entries."""
+        self._entry(name).manual_load = load
+
+    def relays(self) -> Dict[str, Optional["EdgeRelay"]]:
+        """``{edge name: relay}`` for fault-injector registration."""
+        return {name: entry.relay for name, entry in self._edges.items()}
+
+    def edges(self) -> List[str]:
+        return sorted(self._edges)
+
+    def _entry(self, name: str) -> _EdgeEntry:
+        try:
+            return self._edges[name]
+        except KeyError:
+            raise PlacementError(f"no edge {name!r}") from None
+
+    # -- placement ------------------------------------------------------
+
+    def _hash(self, value: str) -> int:
+        digest = hashlib.sha1(f"{self.seed}:{value}".encode()).hexdigest()
+        return int(digest[:16], 16)
+
+    def spill_order(self, key: str) -> List[str]:
+        """Every edge in ring-walk order from ``key``'s hash.
+
+        The first entry is the primary placement; the rest is the
+        deterministic overflow order when primaries refuse admission.
+        """
+        if not self._ring:
+            return []
+        h = self._hash(key)
+        lo, hi = 0, len(self._ring)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._ring[mid][0] < h:
+                lo = mid + 1
+            else:
+                hi = mid
+        order: List[str] = []
+        seen: Set[str] = set()
+        for i in range(len(self._ring)):
+            name = self._ring[(lo + i) % len(self._ring)][1]
+            if name not in seen:
+                seen.add(name)
+                order.append(name)
+            if len(seen) == len(self._edges):
+                break
+        return order
+
+    def place(self, key: str) -> str:
+        """Edge name admitting ``key``; raises :class:`PlacementError`."""
+        for name in self.spill_order(key):
+            if self._edges[name].available():
+                return name
+        raise PlacementError(
+            f"no edge available for {key!r} "
+            f"({len(self._edges)} registered, all down or full)"
+        )
+
+    def url_for(self, client_host: str, point: str) -> str:
+        """Playback URL for one client/point pair.
+
+        Keys combine client and point so one client's lectures spread
+        over the ring while the placement stays deterministic; when no
+        edge admits and ``origin_url`` is set, the client is sent
+        straight to the origin.
+        """
+        try:
+            name = self.place(f"{client_host}|{point}")
+        except PlacementError:
+            if self.origin_url is not None:
+                return f"{self.origin_url}/lod/{point}"
+            raise
+        return f"{self._edges[name].url}/lod/{point}"
+
+
+# ----------------------------------------------------------------------
+# the relay
+# ----------------------------------------------------------------------
+
+
+class _FillState:
+    """One in-flight fill of a point from the origin."""
+
+    __slots__ = (
+        "point", "header", "cache_key", "sequences",
+        "got", "session_id", "done", "failed",
+    )
+
+    def __init__(
+        self, point: str, header, cache_key: str, sequences: Tuple[int, ...]
+    ) -> None:
+        self.point = point
+        self.header = header
+        self.cache_key = cache_key
+        self.sequences = sequences
+        self.got: Dict[int, DataPacket] = {}
+        self.session_id: Optional[int] = None
+        self.done = False
+        self.failed = False
+
+    def missing(self) -> List[int]:
+        return [s for s in self.sequences if s not in self.got]
+
+
+class EdgeRelay(MediaServer):
+    """A relay between the origin and the viewers.
+
+    Inherits the full serving stack — sessions, shared-schedule pacing,
+    NAK repair, MBR downshift, QoS, crash/restart, HTTP control plane —
+    and adds the upstream side:
+
+    * the first client opening a point triggers a **fill**: one replica
+      session against the origin bursts the whole packet run across the
+      backbone (loss repaired by upstream NAK rounds), the assembled
+      file is fingerprint-verified, cached, and published locally;
+    * later clients of the same point coalesce onto the already-local
+      copy — zero extra origin traffic; a refill after crash/idle is a
+      cache hit and costs the origin only a control-plane open;
+    * when the *last* local client leaves, the local point is retired
+      and the upstream session closed, so origin session/QoS lifetime
+      matches local demand exactly (two-hop teardown);
+    * ``join_quantum`` > 0 defers each ``play()`` to the next quantum
+      boundary so near-simultaneous viewers land in one pacing group.
+
+    Broadcast points pass through: the upstream feed is republished as a
+    local live stream, and NAKs for packets the relay itself never
+    received are forwarded upstream.
+    """
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        host: str,
+        *,
+        origin_url: str,
+        name: Optional[str] = None,
+        cache: Optional[PacketRunCache] = None,
+        port: int = 8080,
+        qos_enabled: bool = False,
+        pacing_quantum: float = 0.0,
+        shared_pacing: bool = True,
+        join_quantum: float = 0.0,
+        fill_burst: float = 64.0,
+        fill_timeout: float = 30.0,
+        fill_nak_interval: float = 0.25,
+        fill_nak_rounds: int = 8,
+        tracer=None,
+    ) -> None:
+        if join_quantum < 0:
+            raise PublishError("join_quantum must be >= 0")
+        self.name = name or host
+        super().__init__(
+            network, host,
+            port=port, qos_enabled=qos_enabled,
+            pacing_quantum=pacing_quantum, shared_pacing=shared_pacing,
+            tracer=tracer, trace_label=self.name,
+        )
+        self.origin_url = origin_url.rstrip("/")
+        parsed = urlparse(self.origin_url)
+        self.origin_host = parsed.hostname
+        self.cache = cache if cache is not None else PacketRunCache()
+        self.join_quantum = join_quantum
+        self.fill_burst = fill_burst
+        self.fill_timeout = fill_timeout
+        self.fill_nak_interval = fill_nak_interval
+        self.fill_nak_rounds = fill_nak_rounds
+        self.http_client = HTTPClient(network, host)
+        #: point -> origin replica session id (exactly one per local point)
+        self._upstream: Dict[str, int] = {}
+        self._fills: Dict[str, _FillState] = {}
+        #: upstream session ids whose close never reached the origin (edge
+        #: crash, origin outage) — retried until one lands, so the origin's
+        #: session table and QoS channels don't leak across edge faults
+        self._orphan_upstream: List[int] = []
+        self._releasing: Set[str] = set()
+        self._origin_sink = None  # origin's NAK receiver (from "open")
+        self._origin_channel: Optional[DatagramChannel] = None
+        #: sequences super()._repair_entry could not serve locally during
+        #: the current _handle_nak call — forwarded upstream afterwards
+        self._nak_forward: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # upstream control plane
+    # ------------------------------------------------------------------
+
+    def _control_upstream(self, action: str, **fields) -> Any:
+        response = self.http_client.post(
+            f"{self.origin_url}/control/{action}", body=fields
+        )
+        if not response.ok:
+            raise PublishError(
+                f"origin {action} failed: {response.status} {response.body}"
+            )
+        return response.body
+
+    def _open_upstream(
+        self, name: str, deliver: Callable[[DataPacket], None]
+    ) -> int:
+        body = self._control_upstream(
+            "open", point=name, deliver=deliver, replica=True
+        )
+        self._origin_sink = body.get("recovery_sink")
+        return body["session_id"]
+
+    def _upstream_channel(self) -> Optional[DatagramChannel]:
+        if self._origin_sink is None or self.origin_host is None:
+            return None
+        if self._origin_channel is None:
+            link = self.network.link(self.host, self.origin_host)
+            self._origin_channel = DatagramChannel(link, self._origin_sink)
+        else:
+            self._origin_channel.on_receive = self._origin_sink
+        return self._origin_channel
+
+    def _nak_upstream(
+        self, session_id: Optional[int], sequences: Sequence[int]
+    ) -> None:
+        channel = self._upstream_channel()
+        if channel is None or session_id is None or not sequences:
+            return
+        for i in range(0, len(sequences), 64):
+            channel.send(Message(
+                NakRequest(session_id, tuple(sequences[i:i + 64])),
+                NAK_WIRE_SIZE,
+            ))
+        self.recovery_stats.inc("upstream_naks")
+
+    # ------------------------------------------------------------------
+    # fill: replicate a point from the origin
+    # ------------------------------------------------------------------
+
+    def prefetch(self, name: str) -> None:
+        """Warm the relay: replicate ``name`` before any client asks."""
+        self._ensure_local(name)
+
+    def _ensure_local(self, name: str) -> None:
+        """Make ``name`` a local publishing point (fill if needed)."""
+        if self.crashed:
+            raise SessionError("server is down")
+        self._retry_orphans()
+        if name in self.points:
+            return
+        fill = self._fills.get(name)
+        if fill is not None:
+            # a concurrent open of the same point: ride the fill already
+            # in flight instead of starting a second origin session
+            self._await_fill(fill)
+            if fill.failed or name not in self.points:
+                raise PublishError(f"edge fill of {name!r} failed")
+            return
+        self._begin_fill(name)
+
+    def _begin_fill(self, name: str) -> None:
+        response = self.http_client.get(
+            f"{self.origin_url}/lod/{name}?replica=1"
+        )
+        if not response.ok:
+            raise PublishError(
+                f"origin describe of {name!r} failed: "
+                f"{response.status} {response.body}"
+            )
+        # the describe round-trip stepped the simulator re-entrantly: a
+        # concurrent open may have published the point (or registered a
+        # fill) while this frame was blocked — re-check before acting
+        if name in self.points:
+            return
+        racing = self._fills.get(name)
+        if racing is not None:
+            self._await_fill(racing)
+            if racing.failed or name not in self.points:
+                raise PublishError(f"edge fill of {name!r} failed")
+            return
+        body = response.body
+        header = body["header"]
+        if body.get("broadcast"):
+            self._attach_broadcast(name, header)
+            return
+        cache_key = body["cache_key"]
+        cached = self.cache.lookup(cache_key)
+        if cached is not None:
+            # the run is already on local disk: the origin sees only a
+            # control-plane open (zero media egress), kept so the origin
+            # still knows one replica session per edge per point.
+            # Publish BEFORE the (re-entrant) upstream registration so
+            # opens landing inside that round-trip see the point and
+            # bail at _ensure_local instead of double-publishing.
+            self.publish(name, cached)
+            try:
+                sid = self._open_upstream(name, self._drop_packet)
+            except (HTTPError, PublishError):
+                # origin unreachable/down but the content is local: serve
+                # stale rather than refusing viewers
+                self.cache.counters.inc("stale_serves")
+            else:
+                if name in self.points and name not in self._upstream:
+                    self._upstream[name] = sid
+                else:
+                    # the point was released while we were registering:
+                    # settle the now-pointless origin session right away
+                    try:
+                        self.http_client.post(
+                            f"{self.origin_url}/control/close",
+                            body={"session_id": sid},
+                        )
+                    except HTTPError:
+                        self._orphan_upstream.append(sid)
+            return
+        fill = _FillState(name, header, cache_key, tuple(body["sequences"]))
+        self._fills[name] = fill
+        try:
+            fill.session_id = self._open_upstream(
+                name, functools.partial(self._on_fill_packet, fill)
+            )
+            self._upstream[name] = fill.session_id
+            # whole-file fast start: burst the entire run across the
+            # backbone instead of pacing it out in real time
+            self._control_upstream(
+                "play",
+                session_id=fill.session_id,
+                burst_factor=self.fill_burst,
+                burst_seconds=(
+                    header.file_properties.duration_ms / 1000.0 + 1.0
+                ),
+            )
+            self._await_fill(fill)
+        finally:
+            self._fills.pop(name, None)
+        if fill.failed or name not in self.points:
+            sid = self._upstream.pop(name, None)
+            if sid is not None:
+                try:
+                    self.http_client.post(
+                        f"{self.origin_url}/control/close",
+                        body={"session_id": sid},
+                    )
+                except HTTPError:
+                    self._orphan_upstream.append(sid)
+            raise PublishError(f"edge fill of {name!r} failed")
+
+    @staticmethod
+    def _drop_packet(_packet: DataPacket) -> None:
+        """Deliver sink of a register-only (cache hit) replica session."""
+
+    def _on_fill_packet(self, fill: _FillState, packet: DataPacket) -> None:
+        if fill.done or fill.failed:
+            return
+        fill.got[packet.sequence] = packet
+        if len(fill.got) == len(fill.sequences):
+            # completion must happen *here*, in the deliver callback: a
+            # nested waiter's _await_fill (re-entrant simulator stepping)
+            # can only proceed once the point is actually published
+            self._complete_fill(fill)
+
+    def _complete_fill(self, fill: _FillState) -> None:
+        asf = ASFFile(
+            header=fill.header,
+            packets=[fill.got[s] for s in fill.sequences],
+        )
+        if asf.fingerprint() != fill.cache_key:
+            fill.failed = True
+            self.cache.counters.inc("fill_integrity_failures")
+            return
+        self.cache.store(fill.cache_key, asf)
+        if fill.point not in self.points and not self.crashed:
+            self.publish(fill.point, asf)
+        fill.done = True
+        self.cache.counters.inc("fills")
+        if self.tracer is not None:
+            self.tracer.event(
+                "edge.fill",
+                edge=self.name,
+                point=fill.point,
+                packets=len(fill.sequences),
+            )
+
+    def _await_fill(self, fill: _FillState) -> None:
+        """Drive the simulator until the fill completes or times out.
+
+        Re-entrant stepping, the same pattern HTTPClient.fetch uses. Lost
+        fill packets are recovered by periodic upstream NAK rounds — the
+        origin repairs from its shared packet cache even after the burst
+        finished (FINISHED sessions still answer NAKs).
+        """
+        simulator = self.simulator
+        deadline = simulator.now + self.fill_timeout
+        next_nak = simulator.now + self.fill_nak_interval
+        rounds = 0
+        while not fill.done and not fill.failed:
+            if self.crashed or simulator.now >= deadline:
+                fill.failed = True
+                break
+            nxt = simulator.peek_time()
+            if nxt is None or nxt > next_nak or simulator.now >= next_nak:
+                missing = fill.missing()
+                if missing and rounds < self.fill_nak_rounds:
+                    self._nak_upstream(fill.session_id, missing)
+                    rounds += 1
+                    next_nak = simulator.now + self.fill_nak_interval
+                    continue  # the NAK just scheduled wire events
+                if nxt is None or nxt > deadline:
+                    fill.failed = True
+                    break
+                next_nak = max(next_nak, simulator.now) + self.fill_nak_interval
+            simulator.step()
+
+    # -- broadcast passthrough ------------------------------------------
+
+    def _attach_broadcast(self, name: str, header) -> None:
+        """Republish an origin broadcast as a local live stream."""
+        stream = ASFLiveStream(header)
+        sid = self._open_upstream(
+            name, functools.partial(self._on_broadcast_packet, stream)
+        )
+        self._upstream[name] = sid
+        self.publish(name, stream)
+        self._control_upstream("play", session_id=sid)
+
+    @staticmethod
+    def _on_broadcast_packet(stream: ASFLiveStream, packet: DataPacket) -> None:
+        if not stream.closed:
+            stream.append([packet])
+
+    # ------------------------------------------------------------------
+    # local session lifecycle (coalescing + two-hop teardown)
+    # ------------------------------------------------------------------
+
+    def open_session(
+        self,
+        name: str,
+        client_host: str,
+        deliver: Callable[[DataPacket], None],
+        *,
+        replica: bool = False,
+    ) -> StreamSession:
+        if self.crashed:
+            raise SessionError("server is down")
+        self._ensure_local(name)
+        return super().open_session(
+            name, client_host, deliver, replica=replica
+        )
+
+    def close_session(self, session_id: int) -> None:
+        session = self.sessions.get(session_id)
+        point = session.point
+        super().close_session(session_id)
+        self._maybe_release_point(point)
+
+    def _maybe_release_point(self, point: str) -> None:
+        """Last local client gone: retire the replica and free the origin."""
+        if point in self._releasing or point in self._fills:
+            return
+        if point not in self.points:
+            return
+        if self.sessions.sessions_for_point(point):
+            return
+        self.unpublish(point)
+
+    def unpublish(self, name: str) -> None:
+        nested = name in self._releasing
+        self._releasing.add(name)
+        try:
+            super().unpublish(name)
+        finally:
+            if not nested:
+                self._releasing.discard(name)
+        if not nested:
+            self._close_upstream(name)
+
+    def _close_upstream(self, point: str) -> None:
+        sid = self._upstream.pop(point, None)
+        if sid is None:
+            return
+        try:
+            # a non-OK answer means the origin already dropped the session
+            # (crash wiped it) — nothing left to close either way
+            self.http_client.post(
+                f"{self.origin_url}/control/close", body={"session_id": sid}
+            )
+        except HTTPError:
+            self._orphan_upstream.append(sid)
+
+    def _retry_orphans(self) -> None:
+        for sid in list(self._orphan_upstream):
+            try:
+                self.http_client.post(
+                    f"{self.origin_url}/control/close",
+                    body={"session_id": sid},
+                )
+            except HTTPError:
+                return  # origin still unreachable; keep for the next try
+            self._orphan_upstream.remove(sid)
+
+    def shutdown(self) -> None:
+        """Clean teardown for tests: drain clients, retire points, settle
+        upstream orphans — after this the origin holds nothing of ours."""
+        for session in list(self.sessions.all()):
+            self.close_session(session.session_id)
+        for point in list(self.points):
+            self.unpublish(point)
+        self._retry_orphans()
+
+    # ------------------------------------------------------------------
+    # faults (mirrors the origin MediaServer API)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        if self.crashed:
+            return
+        for fill in self._fills.values():
+            fill.failed = True
+        super().crash()
+        # the process died before telling the origin: its replica sessions
+        # are now orphans on the origin side, settled at restart/shutdown
+        self._orphan_upstream.extend(self._upstream.values())
+        self._upstream.clear()
+        # local replicas are process memory; the cache plays the disk, so
+        # a restarted edge refills by cache hit instead of origin egress
+        for name in list(self.points):
+            self._releasing.add(name)
+            try:
+                super().unpublish(name)
+            finally:
+                self._releasing.discard(name)
+
+    def restart(self) -> None:
+        super().restart()
+        self._retry_orphans()
+
+    # ------------------------------------------------------------------
+    # deferred join (pacing-group aggregation)
+    # ------------------------------------------------------------------
+
+    def play(
+        self,
+        session_id: int,
+        *,
+        start: float = 0.0,
+        burst_factor: float = 1.0,
+        burst_seconds: Optional[float] = None,
+    ) -> None:
+        """Start delivery, deferred to the next ``join_quantum`` boundary.
+
+        Clients arriving within one quantum land on the *same* boundary
+        with the same cursor and burst parameters, so they share one
+        pacing group — the edge-side half of request coalescing. With
+        ``join_quantum == 0`` behaviour is exactly the base class's.
+        """
+        session = self.sessions.get(session_id)
+        if self.join_quantum <= 0.0 or session.broadcast:
+            super().play(
+                session_id, start=start, burst_factor=burst_factor,
+                burst_seconds=burst_seconds,
+            )
+            return
+        quantum = self.join_quantum
+        now = self.simulator.now
+        boundary = math.ceil(now / quantum - 1e-9) * quantum
+        if boundary <= now + 1e-9:
+            super().play(
+                session_id, start=start, burst_factor=burst_factor,
+                burst_seconds=burst_seconds,
+            )
+            return
+
+        def deferred() -> None:
+            if self.crashed:
+                return
+            try:
+                pending = self.sessions.get(session_id)
+            except SessionError:
+                return  # closed while waiting for the boundary
+            if pending.state not in (
+                SessionState.CONNECTING,
+                SessionState.PAUSED,
+                SessionState.FINISHED,
+            ):
+                return
+            super(EdgeRelay, self).play(
+                session_id, start=start, burst_factor=burst_factor,
+                burst_seconds=burst_seconds,
+            )
+
+        self.simulator.schedule_at(boundary, deferred)
+
+    # ------------------------------------------------------------------
+    # NAK forwarding (broadcast holes the relay itself never received)
+    # ------------------------------------------------------------------
+
+    def _handle_nak(self, nak: NakRequest) -> None:
+        self._nak_forward = []
+        try:
+            super()._handle_nak(nak)
+            pending = self._nak_forward
+        finally:
+            self._nak_forward = None
+        if not pending:
+            return
+        try:
+            session = self.sessions.get(nak.session_id)
+        except SessionError:
+            return
+        upstream = self._upstream.get(session.point)
+        if upstream is not None:
+            # the repair arrives on the upstream deliver path, lands in
+            # the local live history, and fans out to attached clients
+            self._nak_upstream(upstream, pending)
+
+    def _repair_entry(
+        self, point, session: StreamSession, sequence: int
+    ) -> Optional[Tuple[DataPacket, int]]:
+        entry = super()._repair_entry(point, session, sequence)
+        if entry is None and self._nak_forward is not None and point.broadcast:
+            self._nak_forward.append(sequence)
+        return entry
+
+    # ------------------------------------------------------------------
+    # HTTP control plane (describe proxies unknown points)
+    # ------------------------------------------------------------------
+
+    def _handle_describe(self, request: HTTPRequest) -> HTTPResponse:
+        if self.crashed:
+            return HTTPResponse(503, body="server is down")
+        name = request.path[len("/lod/"):]
+        if name not in self.points:
+            try:
+                self._ensure_local(name)
+            except (PublishError, SessionError) as exc:
+                return HTTPResponse(502, body=f"edge fill failed: {exc}")
+            except HTTPError as exc:
+                return HTTPResponse(502, body=f"origin unreachable: {exc}")
+        return super()._handle_describe(request)
+
+
+# ----------------------------------------------------------------------
+# topology construction
+# ----------------------------------------------------------------------
+
+
+def build_edge_tier(
+    network: VirtualNetwork,
+    origin: MediaServer,
+    edge_hosts: Sequence[str],
+    *,
+    backbone_bandwidth: float = 50_000_000.0,
+    backbone_delay: float = 0.005,
+    capacity: Optional[int] = None,
+    cache_bytes: int = 64 * 1024 * 1024,
+    vnodes: int = 64,
+    seed: int = 0,
+    port: int = 8080,
+    qos_enabled: bool = False,
+    pacing_quantum: float = 0.0,
+    shared_pacing: bool = True,
+    join_quantum: float = 0.0,
+    fill_burst: float = 64.0,
+    origin_fallback: bool = False,
+    tracer=None,
+) -> Tuple[EdgeDirectory, List[EdgeRelay]]:
+    """Origin + N edges: backbone links, relays, populated directory.
+
+    Each edge gets its own backbone link to the origin and its own
+    :class:`PacketRunCache` (separate machines, separate disks). The
+    returned directory places clients; hand it to players (re-route on
+    reconnect) and to :meth:`FaultInjector.register_directory
+    <repro.net.faults.FaultInjector.register_directory>` (chaos).
+    """
+    origin_url = f"http://{origin.host}:{origin.port}"
+    directory = EdgeDirectory(
+        vnodes=vnodes, seed=seed,
+        origin_url=origin_url if origin_fallback else None,
+    )
+    relays: List[EdgeRelay] = []
+    for host in edge_hosts:
+        network.connect(
+            origin.host, host,
+            bandwidth=backbone_bandwidth, delay=backbone_delay,
+        )
+        relay = EdgeRelay(
+            network, host,
+            origin_url=origin_url,
+            cache=PacketRunCache(max_bytes=cache_bytes),
+            port=port,
+            qos_enabled=qos_enabled,
+            pacing_quantum=pacing_quantum,
+            shared_pacing=shared_pacing,
+            join_quantum=join_quantum,
+            fill_burst=fill_burst,
+            tracer=tracer,
+        )
+        relays.append(relay)
+        directory.add_edge(relay.name, relay=relay, capacity=capacity)
+    return directory, relays

@@ -196,6 +196,7 @@ class MediaServer:
         pacing_quantum: float = 0.0,
         shared_pacing: bool = True,
         tracer=None,
+        trace_label: str = "",
     ) -> None:
         if pacing_quantum < 0:
             raise PublishError("pacing_quantum must be >= 0")
@@ -204,8 +205,12 @@ class MediaServer:
         self.host = network.add_host(host)
         self.port = port
         self.tracer = tracer  # optional repro.obs.Tracer
+        #: namespace for trace/QoS identifiers when several servers (an
+        #: origin plus edge relays) share one tracer — session ids and QoS
+        #: rids are only unique per server, so multi-server audits need it
+        self.trace_label = trace_label
         self.points: Dict[str, PublishingPoint] = {}
-        self.sessions = SessionTable(tracer=tracer)
+        self.sessions = SessionTable(tracer=tracer, label=trace_label)
         self.qos_enabled = qos_enabled
         self.pacing_quantum = pacing_quantum
         self.shared_pacing = shared_pacing
@@ -219,6 +224,9 @@ class MediaServer:
         #: repro.net.faults)
         self.crashed = False
         self.crash_count = 0
+        #: total media bytes shipped over all sessions (egress accounting
+        #: for the edge-tier bench: origin egress vs direct fan-out)
+        self.bytes_served = 0
         self.recovery_stats = Counters("server-recovery")
         #: broadcast NAK repair: per-point sequence -> packet, built
         #: incrementally over the live stream's accumulated history
@@ -287,26 +295,40 @@ class MediaServer:
         """Header of a publishing point (the DESCRIBE step)."""
         return self._point(name).header
 
+    def _sid(self, session_id: int):
+        """Trace-namespaced session identifier (see ``trace_label``)."""
+        return self.sessions.trace_id(session_id)
+
     def open_session(
         self,
         name: str,
         client_host: str,
         deliver: Callable[[DataPacket], None],
+        *,
+        replica: bool = False,
     ) -> StreamSession:
         if self.crashed:
             raise SessionError("server is down")
         point = self._point(name)
         session = self.sessions.create(
-            name, client_host, deliver, broadcast=point.broadcast
+            name, client_host, deliver, broadcast=point.broadcast,
+            replica=replica,
         )
-        self._select_renditions(session, point)
+        if not replica:
+            # replicas buffer for *their* clients: they must receive the
+            # full packet run, so MBR rendition selection is skipped
+            self._select_renditions(session, point)
         if self.qos_enabled:
+            qos_label = (
+                f"{self.trace_label}:{client_host}"
+                if self.trace_label else client_host
+            )
             manager = self._qos.setdefault(
                 client_host,
                 QoSManager(
                     self.network.link(self.host, client_host),
                     tracer=self.tracer,
-                    label=client_host,
+                    label=qos_label,
                 ),
             )
             spec = QoSSpec(bandwidth=max(self._session_bitrate(session, point), 1.0))
@@ -519,7 +541,9 @@ class MediaServer:
         except SessionError:
             self.recovery_stats.inc("naks_stale_session")
             return
-        if not session.active:
+        if not session.active and session.state is not SessionState.FINISHED:
+            # FINISHED sessions still repair: an edge replica that took its
+            # whole fill in one burst NAKs the holes *after* delivery ends
             self.recovery_stats.inc("naks_stale_session")
             return
         point = self.points.get(session.point)
@@ -538,7 +562,7 @@ class MediaServer:
             if self.tracer is not None:
                 self.tracer.event(
                     "repair.sent",
-                    session=session.session_id,
+                    session=self._sid(session.session_id),
                     count=len(batch),
                     bytes=wire,
                 )
@@ -611,7 +635,7 @@ class MediaServer:
         if self.tracer is not None:
             self.tracer.event(
                 "session.downshift",
-                session=session.session_id,
+                session=self._sid(session.session_id),
                 video=chosen.stream_number,
             )
         if session.reservation is not None:
@@ -795,7 +819,7 @@ class MediaServer:
             # group exists to avoid
             self.tracer.event(
                 "packet.train",
-                sessions=delivered,
+                sessions=[self._sid(s) for s in delivered],
                 count=len(train),
                 bytes=total_wire,
                 first_seq=packets[train[0]].sequence,
@@ -893,7 +917,7 @@ class MediaServer:
         if traced and self.tracer is not None:
             self.tracer.event(
                 "packet.train",
-                session=session.session_id,
+                session=self._sid(session.session_id),
                 count=len(packets),
                 bytes=wire_size,
                 first_seq=packets[0].sequence,
@@ -903,6 +927,7 @@ class MediaServer:
         self._channel_for(session).send(Message(payload, wire_size))
         session.packets_sent += len(packets)
         session.bytes_sent += wire_size
+        self.bytes_served += wire_size
 
     def _thin_for(
         self, session: StreamSession, packet: DataPacket
@@ -943,15 +968,21 @@ class MediaServer:
         if name not in self.points:
             return HTTPResponse(404, body=f"unknown publishing point {name!r}")
         point = self.points[name]
-        return HTTPResponse(
-            200,
-            body={
-                "point": name,
-                "broadcast": point.broadcast,
-                "header": point.header,
-                "description": point.description,
-            },
-        )
+        body = {
+            "point": name,
+            "broadcast": point.broadcast,
+            "header": point.header,
+            "description": point.description,
+        }
+        if request.query.get("replica") and not point.broadcast:
+            # a replica fill needs the content address (cache key) and the
+            # exact sequence manifest — sequences are sparse, so a count
+            # alone cannot tell a hole from a packetizer gap
+            content: ASFFile = point.content
+            body["cache_key"] = content.fingerprint()
+            body["packet_count"] = content.packet_count
+            body["sequences"] = tuple(p.sequence for p in content.packets)
+        return HTTPResponse(200, body=body)
 
     def _handle_control(self, request: HTTPRequest) -> HTTPResponse:
         if self.crashed:
@@ -961,7 +992,8 @@ class MediaServer:
         try:
             if action == "open":
                 session = self.open_session(
-                    body["point"], request.client_host, body["deliver"]
+                    body["point"], request.client_host, body["deliver"],
+                    replica=bool(body.get("replica")),
                 )
                 return HTTPResponse(
                     200,

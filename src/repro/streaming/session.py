@@ -69,6 +69,10 @@ class StreamSession:
     downshifts: int = 0
     #: packets re-sent in answer to client NAKs
     retransmits_sent: int = 0
+    #: True when the downstream is an edge relay filling its buffer, not a
+    #: viewer: rendition selection is skipped so the replica gets the full
+    #: packet run (an edge thins per *its own* clients, not per itself)
+    replica: bool = False
     #: registry hook: notified after every state change (set by SessionTable)
     _observer: Optional[Callable[["StreamSession"], None]] = field(
         default=None, repr=False, compare=False
@@ -92,7 +96,11 @@ class StreamSession:
 class SessionTable:
     """Registry of live sessions on a media server."""
 
-    def __init__(self, *, tracer=None) -> None:
+    def __init__(self, *, tracer=None, label: str = "") -> None:
+        #: trace namespace: with several servers sharing one tracer (origin
+        #: plus edge relays) session ids would collide in the audit, so a
+        #: labeled table emits "label:id" session attrs instead of raw ints
+        self.label = label
         self._sessions: Dict[int, StreamSession] = {}
         #: point name -> {session_id: session}; closed sessions are removed,
         #: so per-point lookups never scan the whole table
@@ -104,6 +112,10 @@ class SessionTable:
         self.total_created = 0
         self.tracer = tracer  # optional repro.obs.Tracer
 
+    def trace_id(self, session_id: int):
+        """The session attr value trace records carry for ``session_id``."""
+        return f"{self.label}:{session_id}" if self.label else session_id
+
     def create(
         self,
         point: str,
@@ -111,6 +123,7 @@ class SessionTable:
         deliver: Callable[[DataPacket], None],
         *,
         broadcast: bool,
+        replica: bool = False,
     ) -> StreamSession:
         session = StreamSession(
             session_id=next(self._ids),
@@ -118,6 +131,7 @@ class SessionTable:
             client_host=client_host,
             broadcast=broadcast,
             deliver=deliver,
+            replica=replica,
         )
         self._sessions[session.session_id] = session
         self._by_point.setdefault(point, {})[session.session_id] = session
@@ -126,7 +140,7 @@ class SessionTable:
         if self.tracer is not None:
             self.tracer.event(
                 "session.open",
-                session=session.session_id,
+                session=self.trace_id(session.session_id),
                 point=point,
                 client=client_host,
                 broadcast=broadcast,
@@ -158,7 +172,7 @@ class SessionTable:
         if self.tracer is not None:
             self.tracer.event(
                 "session.close",
-                session=session_id,
+                session=self.trace_id(session_id),
                 point=session.point,
                 packets_sent=session.packets_sent,
                 bytes_sent=session.bytes_sent,

@@ -1,0 +1,216 @@
+"""Chaos against the edge tier: lossy backbones, edge crashes, re-routes.
+
+The edge-tier acceptance scenarios of the distributed-serving PR, in the
+same scripted-fault style as test_recovery.py:
+
+* a lossy backbone must not poison the packet-run cache — the fill
+  repairs itself with upstream NAK rounds and the fingerprint check
+  guarantees what got cached is byte-identical to the origin's run;
+* :meth:`FaultPlan.edge_crash` plus
+  :meth:`FaultInjector.register_directory` give edge relays the same
+  scripted crash/restart treatment origin servers already had;
+* the headline: a viewer mid-lecture loses its edge to a crash, the
+  directory routes the reconnect to a surviving edge (admission control
+  skips the corpse), playback resumes from the buffered frontier — and a
+  full :class:`TraceChecker` pass over a trace spanning *both* hops and
+  *both* edges finds every invariant intact.
+
+``CHAOS_SEED`` (env) reseeds the lossy links; all assertions must hold
+for seeds 0, 1, 2.
+"""
+
+import os
+
+import pytest
+
+from repro.asf import ASFEncoder, EncoderConfig, slide_commands
+from repro.media import AudioObject, ImageObject, VideoObject, get_profile
+from repro.metrics.counters import get_counters, reset_counters
+from repro.net import FaultInjector, FaultPlan
+from repro.obs import TraceChecker, Tracer
+from repro.streaming import (
+    MediaPlayer,
+    MediaServer,
+    PlayerState,
+    RecoveryConfig,
+    build_edge_tier,
+)
+from repro.web import VirtualNetwork
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+PROFILE = get_profile("dsl-256k")
+DURATION = 20.0
+SLIDES = 4
+
+
+def make_asf():
+    per_slide = DURATION / SLIDES
+    return ASFEncoder(EncoderConfig(profile=PROFILE)).encode_file(
+        file_id="lec",
+        video=VideoObject("talk", DURATION, width=320, height=240, fps=10),
+        audio=AudioObject("voice", DURATION),
+        images=[
+            (ImageObject(f"s{i}", per_slide, width=320, height=240),
+             i * per_slide)
+            for i in range(SLIDES)
+        ],
+        commands=slide_commands(
+            [(f"s{i}", i * per_slide) for i in range(SLIDES)]
+        ),
+    )
+
+
+def make_tier(*, edges=2, tracer=None, seed=0, **tier_kwargs):
+    """Origin + N edges + one student wired to every edge."""
+    reset_counters("edge_cache")
+    net = VirtualNetwork()
+    if tracer is not None:
+        tracer.bind_clock(net.simulator)
+        net.simulator.tracer = tracer
+    origin = MediaServer(
+        net, "origin", port=8080, pacing_quantum=0.5,
+        trace_label="origin", tracer=tracer,
+    )
+    origin.publish("lecture", make_asf())
+    directory, relays = build_edge_tier(
+        net, origin, [f"edge{i}" for i in range(edges)],
+        pacing_quantum=0.5, seed=seed, tracer=tracer, **tier_kwargs,
+    )
+    for relay in relays:
+        net.connect(relay.host, "student", bandwidth=2_000_000, delay=0.02)
+        net.link(relay.host, "student").rng.seed(1000 + CHAOS_SEED)
+    return net, origin, directory, relays
+
+
+def drive(net, player, horizon):
+    net.simulator.run_until(horizon)
+    if player.state is not PlayerState.FINISHED:
+        player.stop()
+    return player.report()
+
+
+class TestLossyBackboneFill:
+    def test_fill_repairs_itself_and_never_caches_a_hole(self):
+        # fill_burst=2 paces the replica fill out as ~20 small trains so
+        # i.i.d. loss is certain to eat some of them (one giant burst
+        # train would survive most seeds untouched)
+        net, origin, directory, (edge0,) = make_tier(edges=1, fill_burst=2.0)
+        backbone = net.link("origin", "edge0")
+        backbone.rng.seed(1000 + CHAOS_SEED)
+        backbone.set_loss(loss_rate=0.35)
+
+        edge0.prefetch("lecture")
+        counters = get_counters("edge_cache")
+        # the burst lost packets; time-gated upstream NAK rounds repaired
+        # the holes before the fill was allowed to complete
+        assert edge0.recovery_stats["upstream_naks"] >= 1
+        assert counters["fills"] == 1
+        assert counters.get("fill_integrity_failures", 0) == 0
+        cached = edge0.cache.lookup(
+            origin.points["lecture"].content.fingerprint()
+        )
+        assert cached is not None
+        reference = origin.points["lecture"].content
+        assert (
+            b"".join(p.pack() for p in cached.packets)
+            == b"".join(p.pack() for p in reference.packets)
+        )
+
+        # and a viewer served off the repaired replica sees clean playback
+        player = MediaPlayer(net, "student", recovery=RecoveryConfig())
+        player.connect(directory.url_for("student", "lecture"))
+        player.play()
+        report = drive(net, player, 60.0)
+        assert report.duration_watched == pytest.approx(DURATION, abs=0.3)
+        fired = [c.command.parameter for c in report.slide_changes()]
+        assert fired == [f"s{i}" for i in range(SLIDES)]
+
+
+class TestEdgeFaultParity:
+    def test_fault_plan_drives_edge_crash_and_restart(self):
+        net, origin, directory, relays = make_tier()
+        injector = FaultInjector(net)
+        injector.register_directory(directory)
+        injector.apply(
+            FaultPlan("edge-chaos").edge_crash(
+                "edge0", at=2.0, restart_at=4.0
+            )
+        )
+        net.simulator.run_until(3.0)
+        assert relays[0].crashed and relays[0].crash_count == 1
+        # the directory's admission control reflects the crash live
+        assert directory.place("anything") == "edge1"
+        net.simulator.run_until(5.0)
+        assert not relays[0].crashed
+        assert [k for _, k, t in injector.log if t == ("edge0",)] == [
+            "server_crash", "server_restart",
+        ]
+
+    def test_backbone_link_faults_target_edges_like_any_host(self):
+        net, origin, directory, (edge0, _) = make_tier()
+        edge0.prefetch("lecture")
+        FaultInjector(net).apply(
+            FaultPlan("cut").link_down("origin", "edge0", at=1.0, until=2.0)
+        )
+        net.simulator.run_until(3.0)
+        # the cut window severed and healed the backbone; the replica
+        # (filled before the cut) kept serving throughout
+        assert "lecture" in edge0.points
+
+
+class TestCrashRerouteResume:
+    def test_viewer_survives_edge_crash_via_directory_reroute(self):
+        tracer = Tracer("edge-chaos")
+        net, origin, directory, relays = make_tier(tracer=tracer)
+        for relay in relays:
+            for pair in ((relay.host, "student"), ("origin", relay.host)):
+                net.link(*pair).tracer = tracer
+                net.link(*reversed(pair)).tracer = tracer
+
+        home = directory.place("student|lecture")
+        injector = FaultInjector(net, tracer=tracer)
+        injector.register_directory(directory)
+        injector.apply(
+            FaultPlan("edge-crash").edge_crash(home, at=6.0, restart_at=12.0)
+        )
+
+        player = MediaPlayer(
+            net, "student", directory=directory,
+            recovery=RecoveryConfig(), tracer=tracer,
+        )
+        player.connect(directory.url_for("student", "lecture"))
+        player.play()
+        report = drive(net, player, 90.0)
+
+        # the reconnect was re-placed onto the surviving edge
+        assert report.recovery.get("stalls_detected", 0) >= 1
+        assert report.recovery.get("reconnects", 0) >= 1
+        assert report.recovery.get("reroutes", 0) >= 1
+        assert tracer.events("playback.reroute")
+        survivor = next(r for r in relays if r.name != home)
+        assert survivor.sessions.total_created >= 1
+
+        # playback completed end to end, nothing rendered twice
+        assert report.duration_watched == pytest.approx(DURATION, abs=0.3)
+        fired = [c.command.parameter for c in report.slide_changes()]
+        assert fired == [f"s{i}" for i in range(SLIDES)]
+        keys = [
+            (r.unit.stream_number, r.unit.object_number)
+            for r in report.rendered
+        ]
+        assert len(keys) == len(set(keys))
+
+        # sweep the tier down, then audit the full two-hop trace: every
+        # session (player->edge AND edge->origin, on both edges) must
+        # balance, QoS reservations drain, trains only in open sessions
+        for relay in relays:
+            relay.shutdown()
+        assert len(origin.sessions) == 0
+        for server in (origin, *relays):
+            server.sessions.assert_consistent()
+            server.assert_no_qos_leaks()
+        TraceChecker(tracer.records).assert_ok()
+        assert [k for _, k, t in injector.log if t == (home,)] == [
+            "server_crash", "server_restart",
+        ]
+        assert tracer.events("fault.server_crash")
