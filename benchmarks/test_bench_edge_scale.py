@@ -27,7 +27,7 @@ import os
 import time
 from pathlib import Path
 
-from benchmarks._harness import run_once
+from benchmarks._harness import run_once, throughput_fields
 
 from repro.asf import ASFEncoder, EncoderConfig, slide_commands
 from repro.media import AudioObject, ImageObject, VideoObject, get_profile
@@ -255,6 +255,7 @@ class TestEdgeScale:
             ),
             "cache": edge["cache"],
             "placement_spread": edge["spread"],
+            "throughput": throughput_fields(edge["events"], edge["wall_s"]),
         })
 
 

@@ -1,0 +1,202 @@
+"""Load-scale bench — how many modeled viewers one core can carry.
+
+The million-viewer claim of the load harness: cohort aggregation makes
+simulation cost grow with the number of *distinct behaviours* (edge x
+lecture x join-quantum buckets), not with the audience size. One
+deterministic Zipf/flash-crowd workload is replayed at 10k, 100k and 1M
+modeled viewers; the per-edge cohort planner collapses each audience
+onto the same few hundred delegate sessions, so the event count stays
+nearly flat while ``viewers_per_core`` grows three orders of magnitude.
+
+Emits ``BENCH_load_scale.json`` at the repo root (scale rows plus a
+real-vs-cohort comparison at an audience small enough to drive for
+real) and writes the first run's cProfile top-20-by-cumtime to
+``BENCH_load_profile.txt`` — the artifact CI uploads so hot-loop
+regressions are visible without rerunning locally. Set
+``BENCH_LOAD_SMOKE=1`` for a CI-sized run (one 10k-viewer scale,
+bounded under 60 s).
+"""
+
+import cProfile
+import io
+import json
+import os
+import pstats
+import time
+from pathlib import Path
+
+from benchmarks._harness import run_once, throughput_fields
+
+from repro.load import (
+    LoadConfig,
+    WorkloadSpec,
+    lecture_catalog,
+    run_workload,
+)
+from repro.metrics import format_table
+
+SMOKE = bool(os.environ.get("BENCH_LOAD_SMOKE"))
+LECTURES = 2 if SMOKE else 4
+DURATION = 8.0 if SMOKE else 10.0
+EDGES = 2 if SMOKE else 4
+SCALES = [10_000] if SMOKE else [10_000, 100_000, 1_000_000]
+COMPARE_VIEWERS = 0 if SMOKE else 200  # real-mode ground-truth audience
+SMOKE_BUDGET_S = 60.0
+
+ROOT = Path(__file__).resolve().parent.parent
+PROFILE_PATH = ROOT / "BENCH_load_profile.txt"
+
+
+def make_spec(viewers, *, churn=0.0, seek=0.0):
+    return WorkloadSpec(
+        viewers=viewers,
+        lectures=lecture_catalog(LECTURES, DURATION, stagger=2.0),
+        seed=0,
+        zipf_s=1.1,
+        flash_fraction=0.9,
+        flash_width=2.0,
+        churn_rate=churn,
+        seek_rate=seek,
+        join_quantum=0.5,
+    )
+
+
+def make_config():
+    return LoadConfig(edges=EDGES, heartbeat_interval=1.0)
+
+
+def scale_run(viewers, *, profile_to=None):
+    """One cohort-mode run; optionally cProfile it into ``profile_to``."""
+    # a sprinkle of individuation at the smallest scale exercises the
+    # split/depart paths; the big audiences measure pure aggregation
+    churn = 0.0005 if viewers <= 10_000 else 0.0
+    spec = make_spec(viewers, churn=churn, seek=churn)
+    if profile_to is None:
+        return run_workload(spec, mode="cohort", config=make_config())
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_workload(spec, mode="cohort", config=make_config())
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(20)
+    profile_to.write_text(
+        f"# cProfile top 20 by cumtime — cohort run, "
+        f"{viewers} modeled viewers ({'smoke' if SMOKE else 'full'})\n"
+        + stream.getvalue()
+    )
+    return result
+
+
+class TestLoadScale:
+    def test_bench_viewers_per_core(self, benchmark):
+        t0 = time.perf_counter()
+
+        def trajectory():
+            rows = []
+            for i, viewers in enumerate(SCALES):
+                rows.append(scale_run(
+                    viewers, profile_to=PROFILE_PATH if i == 0 else None,
+                ))
+            return rows
+
+        rows = run_once(benchmark, trajectory)
+        total_wall = time.perf_counter() - t0
+
+        print(f"\n[load] cohort-mode scale trajectory, {EDGES} edges, "
+              f"{LECTURES} lectures x {DURATION:.0f}s:")
+        print(format_table(
+            ["viewers", "sessions", "events", "events/s", "leapt", "wall s"],
+            [
+                [r.viewers, r.sessions, r.events_processed,
+                 f"{r.events_per_sec:,.0f}", r.events_leapt,
+                 f"{r.wall_s:.2f}"]
+                for r in rows
+            ],
+        ))
+
+        # -- acceptance bars -------------------------------------------
+        by_scale = {}
+        for viewers, row in zip(SCALES, rows):
+            # 1. the whole modeled audience is carried and measured
+            assert row.viewers == viewers
+            assert row.qoe["viewers"] == viewers
+            assert row.events_per_sec > 0
+            assert row.peak_rss > 0
+            # 2. aggregation is real: sessions are a tiny fraction of
+            #    the audience, not one per viewer
+            assert row.sessions * 20 <= viewers
+            # 3. beacon-quiet windows were leapt, not ticked through
+            assert row.events_leapt > 0
+            assert row.beacons > 0
+            by_scale[viewers] = row
+
+        if not SMOKE:
+            # 4. >= 100k modeled viewers on one core, rate disclosed
+            assert any(r.viewers >= 100_000 for r in rows)
+            # 5. cost tracks distinct behaviours, not audience size:
+            #    10x and 100x the viewers stay within ~2x the events
+            base = by_scale[10_000].events_processed
+            assert by_scale[100_000].events_processed < base * 2
+            assert by_scale[1_000_000].events_processed < base * 2
+        else:
+            assert total_wall < SMOKE_BUDGET_S
+
+        comparison = {}
+        if COMPARE_VIEWERS:
+            spec = make_spec(COMPARE_VIEWERS, churn=0.05, seek=0.05)
+            cohort = run_workload(spec, mode="cohort", config=make_config())
+            real = run_workload(spec, mode="real", config=make_config())
+            # same audience accounting, strictly cheaper to simulate
+            assert cohort.viewers == real.viewers == COMPARE_VIEWERS
+            assert cohort.qoe["viewers"] == real.qoe["viewers"]
+            assert cohort.events_processed < real.events_processed
+            comparison = {
+                "viewers": COMPARE_VIEWERS,
+                "cohort": cohort.as_dict(),
+                "real": real.as_dict(),
+                "event_factor": (
+                    real.events_processed / cohort.events_processed
+                ),
+            }
+            print(f"[load] {COMPARE_VIEWERS}-viewer ground truth: "
+                  f"real {real.events_processed} events vs cohort "
+                  f"{cohort.events_processed} "
+                  f"({comparison['event_factor']:.1f}x)")
+
+        assert PROFILE_PATH.exists()
+
+        top = rows[-1]
+        _emit(load_scale={
+            "rows": [r.as_dict() for r in rows],
+            "max_viewers_per_core": top.viewers_per_core,
+            "throughput": throughput_fields(top.events_processed, top.wall_s),
+            "mode_comparison": comparison,
+            "profile_artifact": PROFILE_PATH.name,
+        })
+
+
+def _emit(**section):
+    """Merge a result section into BENCH_load_scale.json at repo root."""
+    path = ROOT / "BENCH_load_scale.json"
+    payload = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            payload = {}
+    payload.update(section)
+    payload["config"] = {
+        "lectures": LECTURES,
+        "lecture_duration_s": DURATION,
+        "edges": EDGES,
+        "scales": SCALES,
+        "zipf_s": 1.1,
+        "flash_fraction": 0.9,
+        "flash_width_s": 2.0,
+        "join_quantum_s": 0.5,
+        "heartbeat_interval_s": 1.0,
+        "seed": 0,
+        "smoke": SMOKE,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,48 @@
+"""Million-viewer load harness: workload generation, per-edge viewer
+cohorts, and the driver that executes either against the serving tier.
+
+See :mod:`repro.load.workload` for the catalog-driven generator (Zipf
+popularity, flash crowds, diurnal churn), :mod:`repro.load.cohort` for
+the N-viewers-one-session aggregation with lazy de-aggregation, and
+:mod:`repro.load.harness` for the real/cohort execution modes and the
+measurements behind ``BENCH_load_scale.json``.
+"""
+
+from .cohort import CohortError, CohortViewer
+from .harness import (
+    LoadConfig,
+    LoadResult,
+    encode_lecture,
+    lecture_catalog,
+    peak_rss_bytes,
+    run_workload,
+)
+from .workload import (
+    ArrivalScript,
+    CohortPlan,
+    LectureSpec,
+    ViewerArrival,
+    WorkloadError,
+    WorkloadSpec,
+    generate,
+    plan_cohorts,
+)
+
+__all__ = [
+    "ArrivalScript",
+    "CohortError",
+    "CohortPlan",
+    "CohortViewer",
+    "LectureSpec",
+    "LoadConfig",
+    "LoadResult",
+    "ViewerArrival",
+    "WorkloadError",
+    "WorkloadSpec",
+    "encode_lecture",
+    "generate",
+    "lecture_catalog",
+    "peak_rss_bytes",
+    "plan_cohorts",
+    "run_workload",
+]

@@ -1,0 +1,370 @@
+"""Drive an :class:`~repro.load.workload.ArrivalScript` against the tier.
+
+Two interchangeable execution modes consume the *same* deterministic
+script:
+
+* ``mode="real"`` — one :class:`~repro.streaming.client.MediaPlayer` per
+  scripted viewer. Ground truth; cost grows linearly with the audience.
+* ``mode="cohort"`` — arrivals are collapsed by
+  :func:`~repro.load.workload.plan_cohorts` into per-edge
+  :class:`~repro.load.cohort.CohortViewer` delegates; members that
+  individuate mid-run are split out (seek) or departed (churn) at their
+  scripted instants. Cost grows with the number of *distinct behaviours*,
+  which is what lets one core model 10^5–10^6 viewers.
+
+The driver walks scripted actions in time order, using
+:meth:`Simulator.fast_forward` between them so quiet windows — where the
+only pending work is skippable cohort heartbeats — are leapt instead of
+ticked through. Render loops ride one :class:`SharedTicker` (one
+simulator event per 50 ms tick regardless of player count) and are *not*
+skippable: active playback is always simulated faithfully.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..asf import ASFEncoder, EncoderConfig, slide_commands
+from ..media import AudioObject, ImageObject, VideoObject, get_profile
+from ..net.engine import SharedTicker
+from ..obs.qoe import QoEAggregator, SessionQoE
+from ..streaming import MediaServer, build_edge_tier
+from ..streaming.client import MediaPlayer, PlayerState
+from ..web.http import VirtualNetwork
+from .cohort import CohortViewer
+from .workload import (
+    ArrivalScript,
+    LectureSpec,
+    ViewerArrival,
+    WorkloadSpec,
+    generate,
+    plan_cohorts,
+)
+
+#: grace period past the script horizon before the run is drained — covers
+#: preroll buffering and the close handshakes that trail the last render
+TAIL_SECONDS = 15.0
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (Linux ru_maxrss
+    is reported in KiB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def lecture_catalog(
+    count: int,
+    duration: float,
+    *,
+    stagger: float = 0.0,
+    live_fraction: float = 0.0,
+) -> Tuple[LectureSpec, ...]:
+    """A simple catalog: ``count`` lectures, start times ``stagger``
+    apart, the first ``live_fraction`` of them marked live simulcasts."""
+    live_count = int(round(count * live_fraction))
+    return tuple(
+        LectureSpec(
+            name=f"lec{i}",
+            duration=duration,
+            start_time=i * stagger,
+            live=i < live_count,
+        )
+        for i in range(count)
+    )
+
+
+def encode_lecture(
+    name: str,
+    duration: float,
+    *,
+    profile: str = "dsl-256k",
+    slides: int = 2,
+    fps: int = 10,
+):
+    """Encode one synthetic lecture ASF (video + audio + slide flips)."""
+    per_slide = duration / max(slides, 1)
+    return ASFEncoder(EncoderConfig(profile=get_profile(profile))).encode_file(
+        file_id=name,
+        video=VideoObject("talk", duration, width=320, height=240, fps=fps),
+        audio=AudioObject("voice", duration),
+        images=[
+            (ImageObject(f"s{i}", per_slide, width=320, height=240),
+             i * per_slide)
+            for i in range(slides)
+        ],
+        commands=slide_commands(
+            [(f"s{i}", i * per_slide) for i in range(slides)]
+        ),
+    )
+
+
+@dataclass
+class LoadConfig:
+    """Serving-tier and client knobs for a harness run."""
+
+    edges: int = 4
+    profile: str = "dsl-256k"
+    slides: int = 2
+    fps: int = 10
+    pacing_quantum: float = 0.5
+    burst_factor: float = 1.0
+    #: > 0 arms a skippable presence beacon per cohort at this interval
+    heartbeat_interval: float = 0.0
+    client_bandwidth: float = 2_000_000.0
+    client_delay: float = 0.02
+    #: pre-fill every edge's packet-run cache before viewers arrive
+    prefetch: bool = True
+    collect_qoe: bool = True
+    max_events: int = 50_000_000
+    tracer: Any = None
+
+
+@dataclass
+class LoadResult:
+    """What a harness run measured."""
+
+    mode: str
+    viewers: int          #: modeled viewers (Σ multiplicity)
+    sessions: int         #: real player objects driven
+    cohorts: int
+    splits: int
+    departures: int
+    events_processed: int
+    events_leapt: int
+    cancelled_drained: int
+    beacons: int
+    horizon: float        #: simulated seconds covered
+    wall_s: float
+    peak_rss: int         #: bytes
+    qoe: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events_processed / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def viewers_per_core(self) -> float:
+        """Modeled viewers carried by this (single-core) run."""
+        return float(self.viewers)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "viewers": self.viewers,
+            "sessions": self.sessions,
+            "cohorts": self.cohorts,
+            "splits": self.splits,
+            "departures": self.departures,
+            "events_processed": self.events_processed,
+            "events_leapt": self.events_leapt,
+            "cancelled_drained": self.cancelled_drained,
+            "beacons": self.beacons,
+            "horizon_s": self.horizon,
+            "wall_s": self.wall_s,
+            "events_per_sec": self.events_per_sec,
+            "viewers_per_core": self.viewers_per_core,
+            "peak_rss_bytes": self.peak_rss,
+            "qoe": self.qoe,
+        }
+
+
+def run_workload(
+    script: Union[ArrivalScript, WorkloadSpec],
+    *,
+    mode: str = "cohort",
+    config: Optional[LoadConfig] = None,
+) -> LoadResult:
+    """Build the serving tier, execute the script, measure everything."""
+    if isinstance(script, WorkloadSpec):
+        script = generate(script)
+    if mode not in ("real", "cohort"):
+        raise ValueError(f"unknown mode {mode!r}")
+    cfg = config or LoadConfig()
+    spec = script.spec
+
+    net = VirtualNetwork()
+    sim = net.simulator
+    origin = MediaServer(
+        net, "origin", port=8080,
+        shared_pacing=True, pacing_quantum=cfg.pacing_quantum,
+    )
+    for lecture in spec.lectures:
+        origin.publish(
+            lecture.name,
+            encode_lecture(
+                lecture.name, lecture.duration,
+                profile=cfg.profile, slides=cfg.slides, fps=cfg.fps,
+            ),
+        )
+    directory, relays = build_edge_tier(
+        net, origin, [f"edge{i}" for i in range(cfg.edges)],
+        pacing_quantum=cfg.pacing_quantum, join_quantum=spec.join_quantum,
+        tracer=cfg.tracer,
+    )
+    relay_by_name = {r.name: r for r in relays}
+    if cfg.prefetch:
+        for relay in relays:
+            for lecture in spec.lectures:
+                relay.prefetch(lecture.name)
+
+    def place(arrival: ViewerArrival) -> str:
+        return directory.place(f"{arrival.viewer}|{arrival.lecture}")
+
+    # every render loop in the run shares one ticker: one simulator event
+    # per 50 ms instant no matter how many players are live. NOT skippable
+    # — active playback is never leapt over.
+    render_ticker = SharedTicker(sim, MediaPlayer.RENDER_TICK)
+
+    # (time, seq, fn) — seq keeps the sort stable and deterministic
+    actions: List[Tuple[float, int, Any]] = []
+    seq = iter(range(1 << 30))
+
+    cohorts: List[CohortViewer] = []
+    players: List[MediaPlayer] = []
+
+    def _member_seek(cohort: CohortViewer, member: ViewerArrival,
+                     relay_host: str, position: float) -> None:
+        """A cohort member seeks: split it out as a real player — unless
+        it is the *only* member left, in which case the delegate simply
+        seeks itself."""
+        delegate = cohort.delegate
+        if delegate.multiplicity >= 2:
+            if delegate.state not in (PlayerState.BUFFERING,
+                                      PlayerState.PLAYING,
+                                      PlayerState.PAUSED):
+                return  # playback already over; nothing to diverge from
+            net.connect(relay_host, member.viewer,
+                        bandwidth=cfg.client_bandwidth, delay=cfg.client_delay)
+            cohort.split(member.viewer, user=member.viewer, seek_to=position)
+        elif delegate.state in (PlayerState.PLAYING, PlayerState.PAUSED):
+            delegate.seek(position)
+
+    if mode == "cohort":
+        plans = plan_cohorts(script, place, join_quantum=spec.join_quantum)
+        for idx, plan in enumerate(plans):
+            relay = relay_by_name[plan.edge]
+            host = f"cohort{idx}"
+            net.connect(relay.host, host,
+                        bandwidth=cfg.client_bandwidth, delay=cfg.client_delay)
+            cohort = CohortViewer(
+                net, host, relay.url_of(plan.lecture),
+                size=plan.multiplicity,
+                tracer=cfg.tracer,
+                render_ticker=render_ticker,
+                heartbeat_interval=cfg.heartbeat_interval,
+            )
+            cohorts.append(cohort)
+            actions.append((
+                plan.join_time, next(seq),
+                lambda c=cohort, p=plan: c.start(
+                    start=p.start_position, burst_factor=cfg.burst_factor),
+            ))
+            for member in plan.individuating_members():
+                if member.seek is not None:
+                    seek_at, seek_to = member.seek
+                    actions.append((
+                        seek_at, next(seq),
+                        lambda c=cohort, m=member, r=relay.host, p=seek_to:
+                            _member_seek(c, m, r, p),
+                    ))
+                elif member.leave_time is not None:
+                    actions.append((
+                        member.leave_time, next(seq),
+                        lambda c=cohort, m=member: c.depart(user=m.viewer),
+                    ))
+    else:
+        def _join(player: MediaPlayer, relay, arrival: ViewerArrival) -> None:
+            player.connect(relay.url_of(arrival.lecture))
+            player.play(start=arrival.start_position,
+                        burst_factor=cfg.burst_factor)
+
+        def _leave(player: MediaPlayer) -> None:
+            if player.state not in (PlayerState.IDLE, PlayerState.FINISHED):
+                player.stop()
+
+        def _seek(player: MediaPlayer, position: float) -> None:
+            if player.state in (PlayerState.PLAYING, PlayerState.PAUSED):
+                player.seek(position)
+
+        for arrival in script.arrivals:
+            relay = relay_by_name[place(arrival)]
+            net.connect(relay.host, arrival.viewer,
+                        bandwidth=cfg.client_bandwidth, delay=cfg.client_delay)
+            player = MediaPlayer(
+                net, arrival.viewer, user=arrival.viewer,
+                tracer=cfg.tracer, render_ticker=render_ticker,
+            )
+            players.append(player)
+            actions.append((
+                arrival.join_time, next(seq),
+                lambda p=player, r=relay, a=arrival: _join(p, r, a),
+            ))
+            if arrival.seek is not None:
+                seek_at, seek_to = arrival.seek
+                actions.append((
+                    seek_at, next(seq),
+                    lambda p=player, pos=seek_to: _seek(p, pos),
+                ))
+            if arrival.leave_time is not None:
+                actions.append((
+                    arrival.leave_time, next(seq),
+                    lambda p=player: _leave(p),
+                ))
+
+    # ------------------------------------------------------------------
+    # drive: fast-forward between scripted instants, act inline. Between
+    # actions only simulator-scheduled work (packets, renders, beacons)
+    # is pending, so beacon-only windows are leapt, never ticked.
+    # ------------------------------------------------------------------
+    actions.sort(key=lambda a: (a[0], a[1]))
+    events_before = sim.events_processed
+    t0 = time.perf_counter()
+    for when, _, fn in actions:
+        if when > sim.now:
+            sim.fast_forward(when, max_events=cfg.max_events)
+        fn()
+    horizon = max(script.horizon, sim.now) + TAIL_SECONDS
+    sim.fast_forward(horizon, max_events=cfg.max_events)
+    for cohort in cohorts:
+        cohort.stop_heartbeat()
+    sim.run(max_events=cfg.max_events)
+    wall = time.perf_counter() - t0
+
+    qoe_summary: Dict[str, Any] = {}
+    if cfg.collect_qoe:
+        aggregator = QoEAggregator()
+        for cohort in cohorts:
+            for qoe in cohort.qoes():
+                aggregator.add(qoe)
+        for player in players:
+            aggregator.add(
+                SessionQoE.from_report(player.report(), client=player.user)
+            )
+        qoe_summary = aggregator.summary()
+
+    splits = sum(len(c.splits) for c in cohorts)
+    if mode == "cohort":
+        viewers = sum(c.size for c in cohorts)
+        sessions = len(cohorts) + splits
+    else:
+        viewers = len(players)
+        sessions = len(players)
+    return LoadResult(
+        mode=mode,
+        viewers=viewers,
+        sessions=sessions,
+        cohorts=len(cohorts),
+        splits=splits,
+        departures=sum(len(c.departed) for c in cohorts),
+        events_processed=sim.events_processed - events_before,
+        events_leapt=sim.events_leapt,
+        cancelled_drained=sim.cancelled_drained,
+        beacons=sum(c.beacons for c in cohorts),
+        horizon=sim.now,
+        wall_s=wall,
+        peak_rss=peak_rss_bytes(),
+        qoe=qoe_summary,
+    )

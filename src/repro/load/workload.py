@@ -1,0 +1,314 @@
+"""Catalog-driven workload generation for the load harness.
+
+The paper's system served campus lectures; the workloads that stress a
+distributed serving tier have well-known shape (Kannan & Andres; the
+VCoIP e-learning measurements): **Zipf-skewed** popularity across the
+lecture catalog, **flash crowds** at scheduled start times, background
+arrivals modulated by a **diurnal** cycle, and early-leave **churn**.
+:func:`generate` turns a :class:`WorkloadSpec` into a deterministic
+:class:`ArrivalScript` — the same seed always yields the same viewers,
+lectures, join/leave/seek times — consumable by both the real-client
+path and the cohort-scaled path of :mod:`repro.load.harness`.
+
+:func:`plan_cohorts` is the aggregation step: viewers landing on the same
+edge, same lecture, inside the same ``join_quantum`` bucket form one
+:class:`CohortPlan` served by a single delegate session. Members whose
+script individuates them later (a seek, an early leave) stay listed on
+the plan so the harness can split or depart them at the right instant.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+
+class WorkloadError(Exception):
+    """Spec misuse (no lectures, bad rates...)."""
+
+
+@dataclass(frozen=True)
+class LectureSpec:
+    """One catalog entry.
+
+    ``start_time`` anchors the flash crowd (the scheduled lecture slot);
+    ``live`` marks a simulcast — its viewers join mid-stream at the
+    current broadcast position instead of playing from zero.
+    """
+
+    name: str
+    duration: float
+    start_time: float = 0.0
+    live: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise WorkloadError(f"lecture {self.name!r} needs duration > 0")
+        if self.start_time < 0:
+            raise WorkloadError(f"lecture {self.name!r} starts before t=0")
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+
+class ViewerArrival(NamedTuple):
+    """One viewer's scripted behaviour (tuple-backed: a million of these
+    must stay cheap)."""
+
+    viewer: str
+    lecture: str
+    join_time: float
+    #: play offset into the content at join (0 for on-demand; the current
+    #: broadcast position for live mid-joins)
+    start_position: float
+    #: absolute time the viewer leaves early, or None (watch to the end)
+    leave_time: Optional[float]
+    #: (absolute_time, target_position) of a mid-watch seek, or None
+    seek: Optional[Tuple[float, float]]
+    live: bool
+
+    @property
+    def individuates(self) -> bool:
+        """True when this member diverges from a cohort mid-run."""
+        return self.seek is not None or self.leave_time is not None
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Knobs of the generated audience."""
+
+    viewers: int
+    lectures: Tuple[LectureSpec, ...]
+    seed: int = 0
+    #: Zipf exponent over catalog rank (order given): weight 1/rank^s.
+    #: 0 = uniform; ~1 = classic web popularity skew
+    zipf_s: float = 1.1
+    #: fraction of each lecture's audience arriving in the scheduled burst
+    flash_fraction: float = 0.7
+    #: burst spread: flash arrivals land within this many seconds after
+    #: the lecture's start_time (truncated-exponential, front-loaded)
+    flash_width: float = 2.0
+    #: fraction of viewers that leave before the end
+    churn_rate: float = 0.0
+    #: fraction of (on-demand, staying) viewers that seek once mid-watch
+    seek_rate: float = 0.0
+    #: > 0: background (non-flash) arrivals are weighted by a sinusoidal
+    #: day curve of this period instead of landing uniformly
+    diurnal_period: float = 0.0
+    #: arrival quantization for cohort planning (see plan_cohorts)
+    join_quantum: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.viewers < 1:
+            raise WorkloadError("need at least one viewer")
+        if not self.lectures:
+            raise WorkloadError("need at least one lecture")
+        for name, rate in (
+            ("flash_fraction", self.flash_fraction),
+            ("churn_rate", self.churn_rate),
+            ("seek_rate", self.seek_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise WorkloadError(f"{name} must be in [0, 1]")
+        if self.zipf_s < 0:
+            raise WorkloadError("zipf_s must be >= 0")
+        if self.flash_width < 0:
+            raise WorkloadError("flash_width must be >= 0")
+        if self.join_quantum <= 0:
+            raise WorkloadError("join_quantum must be > 0")
+
+
+@dataclass
+class ArrivalScript:
+    """A deterministic, time-ordered audience script."""
+
+    spec: WorkloadSpec
+    arrivals: List[ViewerArrival] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def horizon(self) -> float:
+        """Latest instant any scripted playback can still be running."""
+        latest = 0.0
+        by_name = {lec.name: lec for lec in self.spec.lectures}
+        for arrival in self.arrivals:
+            lecture = by_name[arrival.lecture]
+            end = arrival.join_time + (lecture.duration - arrival.start_position)
+            if arrival.seek is not None:
+                # seeking backwards can extend the watch past the natural end
+                seek_at, seek_to = arrival.seek
+                end = max(end, seek_at + (lecture.duration - seek_to))
+            if arrival.leave_time is not None:
+                end = min(end, arrival.leave_time)
+            latest = max(latest, end)
+        return latest
+
+    def by_lecture(self) -> Dict[str, List[ViewerArrival]]:
+        out: Dict[str, List[ViewerArrival]] = {}
+        for arrival in self.arrivals:
+            out.setdefault(arrival.lecture, []).append(arrival)
+        return out
+
+
+def _zipf_cumulative(n: int, s: float) -> List[float]:
+    weights = [1.0 / (rank ** s) for rank in range(1, n + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    cumulative[-1] = 1.0  # guard float undershoot for bisect
+    return cumulative
+
+
+def _diurnal_sample(rng: random.Random, lo: float, hi: float, period: float) -> float:
+    """Arrival time in [lo, hi] weighted by a sinusoidal day curve.
+
+    Rejection sampling with a bounded number of rounds keeps generation
+    deterministic and O(1) amortized; after the bound, the last candidate
+    is accepted (a slight flattening, never a hang).
+    """
+    for _ in range(16):
+        t = rng.uniform(lo, hi)
+        w = 0.5 * (1.0 + math.sin(2.0 * math.pi * (t % period) / period))
+        if rng.random() <= w:
+            return t
+    return t
+
+
+def generate(spec: WorkloadSpec) -> ArrivalScript:
+    """Deterministically expand a spec into per-viewer arrivals."""
+    rng = random.Random(spec.seed)
+    cumulative = _zipf_cumulative(len(spec.lectures), spec.zipf_s)
+    arrivals: List[ViewerArrival] = []
+    for i in range(spec.viewers):
+        lecture = spec.lectures[bisect.bisect_left(cumulative, rng.random())]
+        flash = rng.random() < spec.flash_fraction
+        if flash or lecture.live:
+            # the scheduled burst: front-loaded within flash_width. Live
+            # simulcasts have no on-demand tail — stragglers still join
+            # during the broadcast window
+            if lecture.live and not flash:
+                join = rng.uniform(lecture.start_time, lecture.end_time)
+            elif spec.flash_width > 0:
+                join = lecture.start_time + min(
+                    rng.expovariate(3.0 / spec.flash_width), spec.flash_width
+                )
+            else:
+                join = lecture.start_time
+        else:
+            # background on-demand arrivals over the catalog day
+            lo = lecture.start_time
+            hi = lecture.end_time
+            if spec.diurnal_period > 0:
+                join = _diurnal_sample(rng, lo, hi, spec.diurnal_period)
+            else:
+                join = rng.uniform(lo, hi)
+        if lecture.live:
+            start_position = min(
+                max(0.0, join - lecture.start_time), lecture.duration
+            )
+        else:
+            start_position = 0.0
+        remaining = lecture.duration - start_position
+        leave_time: Optional[float] = None
+        seek: Optional[Tuple[float, float]] = None
+        if rng.random() < spec.churn_rate:
+            leave_time = join + rng.uniform(0.25, 0.9) * remaining
+        elif (
+            not lecture.live
+            and spec.seek_rate > 0
+            and rng.random() < spec.seek_rate
+        ):
+            seek_at = join + rng.uniform(0.3, 0.6) * remaining
+            seek_to = rng.uniform(0.5, 0.95) * lecture.duration
+            seek = (seek_at, seek_to)
+        arrivals.append(
+            ViewerArrival(
+                viewer=f"v{i}",
+                lecture=lecture.name,
+                join_time=join,
+                start_position=start_position,
+                leave_time=leave_time,
+                seek=seek,
+                live=lecture.live,
+            )
+        )
+    arrivals.sort(key=lambda a: (a.join_time, a.viewer))
+    return ArrivalScript(spec=spec, arrivals=arrivals)
+
+
+@dataclass
+class CohortPlan:
+    """Viewers collapsed onto one delegate session.
+
+    ``join_time`` is the bucket boundary every member is snapped to —
+    the same quantization the edge tier's ``join_quantum`` applies to
+    real arrivals, so a cohort joins exactly where its members' pacing
+    group would have formed.
+    """
+
+    edge: str
+    lecture: str
+    join_time: float
+    start_position: float
+    live: bool
+    members: List[ViewerArrival] = field(default_factory=list)
+
+    @property
+    def multiplicity(self) -> int:
+        return len(self.members)
+
+    def individuating_members(self) -> List[ViewerArrival]:
+        return [m for m in self.members if m.individuates]
+
+
+def plan_cohorts(
+    script: ArrivalScript,
+    place: Callable[[ViewerArrival], str],
+    *,
+    join_quantum: Optional[float] = None,
+) -> List[CohortPlan]:
+    """Group a script into per-edge cohorts.
+
+    ``place`` maps each arrival to an edge name (typically the consistent-
+    hash directory). Viewers of one lecture landing on one edge within one
+    ``join_quantum`` bucket become a single :class:`CohortPlan`; live
+    mid-joins additionally bucket by quantized start position, since
+    members attaching at different broadcast offsets never shared a
+    delivery. Plans come back ordered by ``join_time``.
+    """
+    quantum = join_quantum if join_quantum is not None else script.spec.join_quantum
+    if quantum <= 0:
+        raise WorkloadError("join_quantum must be > 0")
+    plans: Dict[tuple, CohortPlan] = {}
+    for arrival in script.arrivals:
+        edge = place(arrival)
+        bucket = math.floor(arrival.join_time / quantum + 1e-9)
+        position_bucket = (
+            math.floor(arrival.start_position / quantum + 1e-9)
+            if arrival.live else 0
+        )
+        key = (edge, arrival.lecture, bucket, position_bucket)
+        plan = plans.get(key)
+        if plan is None:
+            plan = CohortPlan(
+                edge=edge,
+                lecture=arrival.lecture,
+                join_time=bucket * quantum,
+                start_position=position_bucket * quantum,
+                live=arrival.live,
+            )
+            plans[key] = plan
+        plan.members.append(arrival)
+    ordered = sorted(
+        plans.values(), key=lambda p: (p.join_time, p.edge, p.lecture)
+    )
+    return ordered

@@ -23,6 +23,9 @@ class SessionQoE:
 
     client: str = ""
     point: str = ""
+    #: modeled viewers behind this session (a cohort delegate's size);
+    #: aggregation weights every distribution and total by it
+    multiplicity: int = 1
     startup_delay: float = 0.0
     rebuffer_count: int = 0
     rebuffer_time: float = 0.0
@@ -49,12 +52,14 @@ class SessionQoE:
         *,
         clean_media_bytes: int = 0,
         client: str = "",
+        multiplicity: int = 1,
     ) -> "SessionQoE":
         """Build from a :class:`PlaybackReport` (duck-typed)."""
         recovery = getattr(report, "recovery", {}) or {}
         return cls(
             client=client,
             point=getattr(report, "point", ""),
+            multiplicity=multiplicity,
             startup_delay=report.startup_latency,
             rebuffer_count=report.rebuffer_count,
             rebuffer_time=report.rebuffer_time,
@@ -70,6 +75,7 @@ class SessionQoE:
         return {
             "client": self.client,
             "point": self.point,
+            "multiplicity": self.multiplicity,
             "startup_delay": self.startup_delay,
             "rebuffer_count": self.rebuffer_count,
             "rebuffer_time": self.rebuffer_time,
@@ -88,29 +94,55 @@ class QoEAggregator:
 
     def __init__(self) -> None:
         self.sessions: List[SessionQoE] = []
+        self._weights: List[int] = []
         self.startup = Histogram("startup_delay")
         self.rebuffer_time = Histogram("rebuffer_time")
         self.delivery = Histogram("delivery_ratio")
 
-    def add(self, qoe: SessionQoE) -> None:
+    def add(self, qoe: SessionQoE, *, weight: Optional[int] = None) -> None:
+        """Fold one session in, weighted by its modeled viewer count.
+
+        ``weight`` defaults to ``qoe.multiplicity`` — a cohort delegate's
+        single measurement lands in every distribution once per modeled
+        viewer, so percentiles over a mixed real/cohort population are
+        exactly those of the equivalent all-real population.
+        """
+        w = qoe.multiplicity if weight is None else weight
+        if w < 1:
+            raise ValueError(f"weight must be a positive integer, got {w}")
         self.sessions.append(qoe)
-        self.startup.record(qoe.startup_delay)
-        self.rebuffer_time.record(qoe.rebuffer_time)
-        self.delivery.record(qoe.delivery_ratio)
+        self._weights.append(w)
+        self.startup.record(qoe.startup_delay, w)
+        self.rebuffer_time.record(qoe.rebuffer_time, w)
+        self.delivery.record(qoe.delivery_ratio, w)
 
     def __len__(self) -> int:
         return len(self.sessions)
 
+    @property
+    def viewers(self) -> int:
+        """Modeled viewers folded in (Σ weights); ≥ ``len(self)``."""
+        return sum(self._weights)
+
     def summary(self) -> Dict[str, Any]:
-        return {
+        weighted = zip(self.sessions, self._weights)
+        totals = {
+            "total_rebuffers": 0,
+            "total_downshifts": 0,
+            "total_naks_sent": 0,
+            "total_repairs_received": 0,
+        }
+        for q, w in weighted:
+            totals["total_rebuffers"] += q.rebuffer_count * w
+            totals["total_downshifts"] += len(q.downshifts) * w
+            totals["total_naks_sent"] += q.naks_sent * w
+            totals["total_repairs_received"] += q.repairs_received * w
+        out = {
             "sessions": len(self.sessions),
+            "viewers": self.viewers,
             "startup_delay": self.startup.summary(),
             "rebuffer_time": self.rebuffer_time.summary(),
             "delivery_ratio": self.delivery.summary(),
-            "total_rebuffers": sum(q.rebuffer_count for q in self.sessions),
-            "total_downshifts": sum(len(q.downshifts) for q in self.sessions),
-            "total_naks_sent": sum(q.naks_sent for q in self.sessions),
-            "total_repairs_received": sum(
-                q.repairs_received for q in self.sessions
-            ),
         }
+        out.update(totals)
+        return out

@@ -21,6 +21,7 @@ Two synchronization modes exist for the ablation benches:
 
 from __future__ import annotations
 
+import copy
 import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
@@ -129,9 +130,13 @@ class MediaPlayer:
         recovery: Optional[RecoveryConfig] = None,
         directory=None,
         tracer=None,
+        multiplicity: int = 1,
+        render_ticker=None,
     ) -> None:
         if sync_mode not in ("script", "timer"):
             raise PlayerError(f"unknown sync mode {sync_mode!r}")
+        if multiplicity < 1:
+            raise PlayerError(f"multiplicity must be >= 1, got {multiplicity}")
         from .buffer import JitterBuffer
 
         self.network = network
@@ -147,6 +152,14 @@ class MediaPlayer:
         #: reconnect re-resolves the serving URL, so a crashed edge relay
         #: re-routes the player to a surviving one
         self.directory = directory
+        #: modeled viewers this player stands for — a cohort delegate in
+        #: the load harness carries the cohort size; the server records it
+        #: on the session for audience accounting, delivery stays 1×
+        self.multiplicity = multiplicity
+        #: optional repro.net.engine.SharedTicker — when set, the render
+        #: loop registers on it instead of running a private PeriodicTask,
+        #: so thousands of players share one simulator event per tick
+        self._render_ticker = render_ticker
         self.http = HTTPClient(network, host)
 
         self.state = PlayerState.IDLE
@@ -160,7 +173,11 @@ class MediaPlayer:
         self._buffer = JitterBuffer()
         self._clock = PresentationClock()
         self._dispatcher: Optional[ScriptCommandDispatcher] = None
-        self._render_task: Optional[PeriodicTask] = None
+        #: PeriodicTask or a SharedTicker slot — both expose .stop()
+        self._render_task: Optional[Any] = None
+        #: play() parameters, kept so split_member can replay the cohort's
+        #: exact fast-start shape on the split-out session
+        self._play_burst_factor = 1.0
         self._media_streams: List[int] = []
         self.selected_video: Optional[int] = None
         self._timer_commands: List[ScriptCommand] = []
@@ -296,7 +313,10 @@ class MediaPlayer:
             self._playback_span = self.tracer.begin(
                 "playback", client=self.user, point=self._point
             )
-        self._control("open", point=self._point, deliver=self._on_packet)
+        self._control(
+            "open", point=self._point, deliver=self._on_packet,
+            multiplicity=self.multiplicity,
+        )
         if self.tracer is not None:
             self.tracer.event(
                 "session.attach",
@@ -310,11 +330,18 @@ class MediaPlayer:
         )
         self.state = PlayerState.BUFFERING
         self._start_position = start
+        self._play_burst_factor = burst_factor
         self._pending_catchup = start > 0
         self._arm_recovery()
-        self._render_task = PeriodicTask(
-            self.simulator, self.RENDER_TICK, self._render_tick
-        )
+        self._start_render_loop()
+
+    def _start_render_loop(self) -> None:
+        if self._render_ticker is not None:
+            self._render_task = self._render_ticker.register(self._render_tick)
+        else:
+            self._render_task = PeriodicTask(
+                self.simulator, self.RENDER_TICK, self._render_tick
+            )
 
     # ------------------------------------------------------------------
     # recovery plumbing (NAKs, watchdog, reconnection, degradation)
@@ -477,7 +504,10 @@ class MediaPlayer:
             # channels before the new open reserves another
             self._close_orphans()
             resume_at = self._reconnect_position()
-            self._control("open", point=self._point, deliver=self._on_packet)
+            self._control(
+                "open", point=self._point, deliver=self._on_packet,
+                multiplicity=self.multiplicity,
+            )
             if self._broadcast:
                 # live: just reattach; the sequence gap across the outage
                 # drives NAK repair of whatever the feed sent meanwhile
@@ -869,6 +899,166 @@ class MediaPlayer:
         if self.state in (PlayerState.IDLE, PlayerState.FINISHED):
             raise PlayerError(f"cannot stop from {self.state.value}")
         self._finish()
+
+    # ------------------------------------------------------------------
+    # cohort de-aggregation
+    # ------------------------------------------------------------------
+
+    def split_member(
+        self,
+        host: str,
+        *,
+        user: str = "",
+        seek_to: Optional[float] = None,
+        render_ticker=None,
+    ) -> "MediaPlayer":
+        """De-aggregate one modeled viewer into its own real player.
+
+        A cohort delegate (``multiplicity`` > 1) stands for N viewers whose
+        playback never diverged. The moment one of them individuates — a
+        seek (``seek_to``), or a reconnect-style action (``seek_to=None``,
+        resume at the buffered frontier) — that member becomes a *twin*
+        player on ``host``: it inherits the delegate's entire client-side
+        history (delivered bytes, rendered log, fired commands, clock,
+        QoE counters — the member lived inside the cohort until this
+        instant), opens its own server session, and restarts delivery
+        exactly where the individuating action lands it. The delegate's
+        multiplicity drops by one; its server session keeps the opening
+        multiplicity (server-side counts are attach-time audience).
+
+        The twin's post-split delivery is byte-identical to what an
+        independent player that issued the same action would receive:
+        ``server.play(start=p)`` and ``server.seek(p)`` resolve the same
+        packet cursor, and the twin replays the delegate's fast-start
+        parameters so the pacing shape matches too.
+        """
+        if self.state not in (
+            PlayerState.BUFFERING, PlayerState.PLAYING, PlayerState.PAUSED
+        ):
+            raise PlayerError(f"cannot split from {self.state.value}")
+        if self.multiplicity < 2:
+            raise PlayerError("no aggregated members left to split out")
+        if self._broadcast and seek_to is not None:
+            raise PlayerError("cannot seek a broadcast member")
+        now = self.simulator.now
+        twin = MediaPlayer(
+            self.network,
+            host,
+            user=user or host,
+            license_server=self.license_server,
+            sync_mode=self.sync_mode,
+            preroll_override=self.preroll_override,
+            recovery=self.recovery_config,
+            directory=self.directory,
+            tracer=self.tracer,
+            render_ticker=(
+                render_ticker if render_ticker is not None
+                else self._render_ticker
+            ),
+        )
+        # shared context (immutable or server-owned)
+        twin.header = self.header
+        twin._point = self._point
+        twin._broadcast = self._broadcast
+        twin._server_url = self._server_url
+        twin._license = self._license
+        twin._media_streams = list(self._media_streams)
+        twin.selected_video = self.selected_video
+        twin._pending_streams = set(self._pending_streams)
+        # client-side playback state: cloned, not re-derived — the member's
+        # history *is* the delegate's. on_gap is a bound method back into
+        # this player; detach it around the deepcopy so the clone doesn't
+        # drag the whole player (network, simulator...) along
+        saved_gap = self._depacketizer.on_gap
+        self._depacketizer.on_gap = None
+        twin._depacketizer = copy.deepcopy(self._depacketizer)
+        self._depacketizer.on_gap = saved_gap
+        twin._buffer = copy.deepcopy(self._buffer)
+        twin._clock = copy.deepcopy(self._clock)
+        assert self.header is not None
+        twin._dispatcher = ScriptCommandDispatcher(
+            list(self.header.script_commands), twin._on_command_fired
+        )
+        if self._dispatcher is not None:
+            twin._dispatcher._cursor = self._dispatcher._cursor
+        twin._timer_commands = sorted(self.header.script_commands)
+        twin._timer_cursor = self._timer_cursor
+        twin._timer_origin = self._timer_origin
+        twin.rendered = list(self.rendered)
+        twin.fired = list(self.fired)
+        twin._connect_time = self._connect_time
+        twin._first_render = self._first_render
+        twin.rebuffer_count = self.rebuffer_count
+        twin.rebuffer_time = self.rebuffer_time
+        twin._stall_started = self._stall_started
+        twin._stall_is_underrun = self._stall_is_underrun
+        twin._start_position = self._start_position
+        twin._play_burst_factor = self._play_burst_factor
+        twin._stream_ended = self._stream_ended
+        twin.downshift_log = list(self.downshift_log)
+        twin._pending_catchup = getattr(self, "_pending_catchup", False)
+        twin.state = self.state
+        self.multiplicity -= 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "playback.split",
+                span=self._playback_span,
+                client=self.user,
+                member=twin.user,
+                remaining=self.multiplicity,
+            )
+            twin._playback_span = self.tracer.begin(
+                "playback", client=twin.user, point=twin._point
+            )
+        twin._control(
+            "open", point=twin._point, deliver=twin._on_packet, multiplicity=1,
+        )
+        if self.tracer is not None:
+            self.tracer.event(
+                "session.attach",
+                span=twin._playback_span,
+                client=twin.user,
+                session=twin.session_id,
+            )
+        if self._broadcast:
+            # live: just attach; the feed's next packets reach the twin
+            twin._control("play", session_id=twin.session_id)
+        elif seek_to is not None:
+            # the server resolves play(start=p) with the same cursor as
+            # seek(p); client-side this is exactly seek()'s transition
+            twin._control(
+                "play", session_id=twin.session_id, start=seek_to,
+                burst_factor=self._play_burst_factor,
+            )
+            if self.tracer is not None:
+                self.tracer.event(
+                    "playback.seek",
+                    span=twin._playback_span,
+                    client=twin.user,
+                    position=seek_to,
+                )
+            twin._buffer.clear()
+            twin._depacketizer.expect_replay()
+            twin._clock.seek(now, seek_to)
+            if twin._clock.started and not twin._clock.paused:
+                twin._clock.pause(now)
+            if twin._dispatcher is not None:
+                twin._dispatcher.seek(seek_to)
+            twin._stall_started = now
+            twin._stall_is_underrun = False
+            twin.state = PlayerState.BUFFERING
+        else:
+            # reconnect-style individuation: resume at the buffered
+            # frontier; the replay overlap dedups in the depacketizer
+            resume_at = twin._reconnect_position()
+            twin._depacketizer.expect_replay(suppress_completed=True)
+            twin._control(
+                "play", session_id=twin.session_id, start=resume_at,
+                burst_factor=self._play_burst_factor,
+            )
+        twin._arm_recovery()
+        twin._start_render_loop()
+        return twin
 
     # ------------------------------------------------------------------
     # driving & reporting

@@ -657,12 +657,14 @@ class EdgeRelay(MediaServer):
         deliver: Callable[[DataPacket], None],
         *,
         replica: bool = False,
+        multiplicity: int = 1,
     ) -> StreamSession:
         if self.crashed:
             raise SessionError("server is down")
         self._ensure_local(name)
         return super().open_session(
-            name, client_host, deliver, replica=replica
+            name, client_host, deliver, replica=replica,
+            multiplicity=multiplicity,
         )
 
     def close_session(self, session_id: int) -> None:

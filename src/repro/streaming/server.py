@@ -306,13 +306,14 @@ class MediaServer:
         deliver: Callable[[DataPacket], None],
         *,
         replica: bool = False,
+        multiplicity: int = 1,
     ) -> StreamSession:
         if self.crashed:
             raise SessionError("server is down")
         point = self._point(name)
         session = self.sessions.create(
             name, client_host, deliver, broadcast=point.broadcast,
-            replica=replica,
+            replica=replica, multiplicity=multiplicity,
         )
         if not replica:
             # replicas buffer for *their* clients: they must receive the
@@ -994,6 +995,7 @@ class MediaServer:
                 session = self.open_session(
                     body["point"], request.client_host, body["deliver"],
                     replica=bool(body.get("replica")),
+                    multiplicity=int(body.get("multiplicity", 1)),
                 )
                 return HTTPResponse(
                     200,

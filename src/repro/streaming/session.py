@@ -73,6 +73,11 @@ class StreamSession:
     #: viewer: rendition selection is skipped so the replica gets the full
     #: packet run (an edge thins per *its own* clients, not per itself)
     replica: bool = False
+    #: modeled viewers behind this session. 1 for a real client; a load
+    #: cohort's delegate session carries the cohort size, so capacity
+    #: accounting can report modeled audience without per-viewer sessions.
+    #: Delivery and QoS stay 1× — one carrier stream feeds the cohort.
+    multiplicity: int = 1
     #: registry hook: notified after every state change (set by SessionTable)
     _observer: Optional[Callable[["StreamSession"], None]] = field(
         default=None, repr=False, compare=False
@@ -124,7 +129,10 @@ class SessionTable:
         *,
         broadcast: bool,
         replica: bool = False,
+        multiplicity: int = 1,
     ) -> StreamSession:
+        if multiplicity < 1:
+            raise SessionError(f"multiplicity must be >= 1, got {multiplicity}")
         session = StreamSession(
             session_id=next(self._ids),
             point=point,
@@ -132,20 +140,27 @@ class SessionTable:
             broadcast=broadcast,
             deliver=deliver,
             replica=replica,
+            multiplicity=multiplicity,
         )
         self._sessions[session.session_id] = session
         self._by_point.setdefault(point, {})[session.session_id] = session
         session._observer = self._track_state
         self.total_created += 1
         if self.tracer is not None:
-            self.tracer.event(
-                "session.open",
+            attrs = dict(
                 session=self.trace_id(session.session_id),
                 point=point,
                 client=client_host,
                 broadcast=broadcast,
             )
+            if multiplicity > 1:
+                attrs["multiplicity"] = multiplicity
+            self.tracer.event("session.open", **attrs)
         return session
+
+    def modeled_viewers(self) -> int:
+        """Σ multiplicity over registered sessions (modeled audience)."""
+        return sum(s.multiplicity for s in self._sessions.values())
 
     def _track_state(self, session: StreamSession) -> None:
         if session.active:
