@@ -1,0 +1,279 @@
+"""Resilience bench — detection latency, drain vs crash, hand-off rate.
+
+Quantifies the self-healing tier's three headline numbers and emits
+``BENCH_resilience.json`` at the repo root:
+
+* **detection_latency** — an edge is killed cold; how long until the
+  heartbeat monitor suspects it (bounded by the miss threshold), per
+  seed, with zero false suspicions on the healthy peer;
+* **drain_vs_crash** — the same viewer loses its edge both ways: a
+  graceful :meth:`EdgeRelay.drain` (warm hand-off) versus a hard crash
+  (stall watchdog + reconnect). Planned removal must cost ~0 rebuffer;
+  the crash path is the nonzero baseline it is measured against;
+* **handoff_success** — a loaded edge drains with live sessions; the
+  fraction handed off warm (vs dropped to the crash path) must be 1.0
+  when the successor is healthy.
+
+``BENCH_RESILIENCE_SMOKE=1`` shrinks to one seed for CI (<60 s).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from benchmarks._harness import run_once
+
+from repro.asf import ASFEncoder, EncoderConfig, slide_commands
+from repro.media import AudioObject, ImageObject, VideoObject, get_profile
+from repro.metrics import format_table
+from repro.metrics.counters import reset_counters
+from repro.net import FaultInjector, FaultPlan
+from repro.streaming import (
+    MediaPlayer,
+    MediaServer,
+    PlayerState,
+    RecoveryConfig,
+    build_edge_tier,
+)
+from repro.web import VirtualNetwork
+
+from repro.control import HeartbeatMonitor
+
+SMOKE = bool(os.environ.get("BENCH_RESILIENCE_SMOKE"))
+SEEDS = [0] if SMOKE else [0, 1, 2]
+
+PROFILE = get_profile("dsl-256k")
+DURATION = 20.0
+SLIDES = 4
+INTERVAL = 0.5
+MISS = 3
+CRASH_AT = 2.0
+REMOVE_AT = 8.0
+VIEWERS = 4 if SMOKE else 8
+HORIZON = 90.0
+
+
+def make_asf():
+    per_slide = DURATION / SLIDES
+    return ASFEncoder(EncoderConfig(profile=PROFILE)).encode_file(
+        file_id="bench-resil",
+        video=VideoObject("talk", DURATION, width=320, height=240, fps=10),
+        audio=AudioObject("voice", DURATION),
+        images=[
+            (ImageObject(f"s{i}", per_slide, width=320, height=240),
+             i * per_slide)
+            for i in range(SLIDES)
+        ],
+        commands=slide_commands(
+            [(f"s{i}", i * per_slide) for i in range(SLIDES)]
+        ),
+    )
+
+
+def make_tier(asf, *, seed, viewers=("student",)):
+    reset_counters("edge_cache")
+    net = VirtualNetwork()
+    origin = MediaServer(net, "origin", port=8080, pacing_quantum=0.5)
+    origin.publish("lecture", asf)
+    directory, relays = build_edge_tier(
+        net, origin, ["edge0", "edge1"], pacing_quantum=0.5, seed=seed,
+    )
+    for relay in relays:
+        for host in viewers:
+            net.connect(relay.host, host, bandwidth=2_000_000, delay=0.02)
+            net.link(relay.host, host).rng.seed(1000 + seed)
+    return net, origin, directory, relays
+
+
+def finish(net, player, horizon=HORIZON):
+    net.simulator.run_until(horizon)
+    if player.state is not PlayerState.FINISHED:
+        player.stop()
+    return player.report()
+
+
+def measure_detection(asf, seed):
+    net, origin, directory, relays = make_tier(asf, seed=seed)
+    monitor = HeartbeatMonitor(
+        net, directory, interval=INTERVAL, miss_threshold=MISS, seed=seed,
+    )
+    monitor.watch_directory()
+    monitor.start()
+    injector = FaultInjector(net)
+    injector.register_directory(directory)
+    injector.apply(FaultPlan("kill").edge_crash("edge0", at=CRASH_AT))
+    net.simulator.run_until(CRASH_AT + 6.0)
+    monitor.stop()
+    suspicions = list(monitor.suspicions)
+    assert [s["edge"] for s in suspicions] == ["edge0"]
+    return {
+        "detection_latency_s": round(suspicions[0]["time"] - CRASH_AT, 3),
+        "bound_s": (MISS + 2) * INTERVAL,
+        "false_suspicions": sum(
+            1 for s in suspicions if s["edge"] != "edge0"
+        ),
+        "events": net.simulator.events_processed,
+    }
+
+
+def measure_removal(asf, seed, *, graceful):
+    """One viewer loses its home edge at REMOVE_AT — warm or cold."""
+    net, origin, directory, relays = make_tier(asf, seed=seed)
+    home = directory.place("student|lecture")
+    home_relay = next(r for r in relays if r.name == home)
+    player = MediaPlayer(
+        net, "student", directory=directory, recovery=RecoveryConfig(),
+    )
+    player.connect(directory.url_for("student", "lecture"))
+    player.play()
+    stats = {}
+    if graceful:
+        net.simulator.schedule_at(
+            REMOVE_AT, lambda: stats.update(home_relay.drain(directory))
+        )
+    else:
+        injector = FaultInjector(net)
+        injector.register_directory(directory)
+        injector.apply(FaultPlan("cold").edge_crash(home, at=REMOVE_AT))
+    report = finish(net, player)
+    assert abs(report.duration_watched - DURATION) <= 0.5
+    return {
+        "rebuffer_count": report.rebuffer_count,
+        "rebuffer_time_s": round(report.rebuffer_time, 3),
+        "stalls": report.recovery.get("stalls_detected", 0),
+        "reconnects": report.recovery.get("reconnects", 0),
+        "handoffs": report.recovery.get("handoffs", 0),
+        "duration_watched_s": round(report.duration_watched, 3),
+        "drain_stats": stats,
+    }
+
+
+def measure_handoff_rate(asf, seed):
+    hosts = tuple(f"viewer{i}" for i in range(VIEWERS))
+    net, origin, directory, relays = make_tier(asf, seed=seed, viewers=hosts)
+    players = []
+    for host in hosts:
+        player = MediaPlayer(
+            net, host, user=host, directory=directory,
+            recovery=RecoveryConfig(),
+        )
+        player.connect(directory.url_for(host, "lecture"))
+        player.play()
+        players.append(player)
+    homes = [directory.place(f"{h}|lecture") for h in hosts]
+    # drain the edge carrying the most viewers, mid-stream
+    target = max(set(homes), key=homes.count)
+    relay = next(r for r in relays if r.name == target)
+    stats = {}
+    net.simulator.schedule_at(
+        REMOVE_AT, lambda: stats.update(relay.drain(directory))
+    )
+    net.simulator.run_until(HORIZON)
+    for player in players:
+        if player.state is not PlayerState.FINISHED:
+            player.stop()
+    drained = stats["handoffs"] + stats["fallbacks"]
+    handed_off = sum(
+        p.report().recovery.get("handoffs", 0) for p in players
+    )
+    return {
+        "sessions_drained": drained,
+        "handoffs": stats["handoffs"],
+        "fallbacks": stats["fallbacks"],
+        "success_rate": stats["handoffs"] / drained if drained else 1.0,
+        "clients_relocated": handed_off,
+    }
+
+
+class TestResilienceBench:
+    def test_bench_detection_latency(self, benchmark):
+        asf = make_asf()
+
+        def scenario():
+            return {s: measure_detection(asf, s) for s in SEEDS}
+
+        rows = run_once(benchmark, scenario)
+        print("\n[resil] heartbeat detection latency:")
+        print(format_table(
+            ["seed", "latency", "bound", "false"],
+            [[s, f"{r['detection_latency_s']:.3f}s", f"{r['bound_s']:.1f}s",
+              r["false_suspicions"]] for s, r in rows.items()],
+        ))
+        for r in rows.values():
+            assert 0.0 < r["detection_latency_s"] <= r["bound_s"] + 0.01
+            assert r["false_suspicions"] == 0
+        _emit(detection_latency={str(s): r for s, r in rows.items()})
+
+    def test_bench_drain_vs_crash_rebuffer(self, benchmark):
+        asf = make_asf()
+
+        def scenario():
+            return {
+                s: {
+                    "drain": measure_removal(asf, s, graceful=True),
+                    "crash": measure_removal(asf, s, graceful=False),
+                }
+                for s in SEEDS
+            }
+
+        rows = run_once(benchmark, scenario)
+        print("\n[resil] planned drain vs cold crash (same viewer):")
+        print(format_table(
+            ["seed", "arm", "rebuf", "rebuf time", "stalls", "handoffs"],
+            [[s, arm, r["rebuffer_count"], f"{r['rebuffer_time_s']:.3f}s",
+              r["stalls"], r["handoffs"]]
+             for s, arms in rows.items() for arm, r in arms.items()],
+        ))
+        for arms in rows.values():
+            drain, crash = arms["drain"], arms["crash"]
+            # planned removal: one warm hand-off, essentially free
+            assert drain["handoffs"] == 1 and drain["stalls"] == 0
+            assert drain["rebuffer_time_s"] <= 0.05
+            # the crash path is the nonzero baseline
+            assert crash["stalls"] >= 1 and crash["reconnects"] >= 1
+            assert crash["rebuffer_count"] >= 1
+            assert crash["rebuffer_time_s"] > drain["rebuffer_time_s"]
+        _emit(drain_vs_crash={str(s): r for s, r in rows.items()})
+
+    def test_bench_handoff_success_rate(self, benchmark):
+        asf = make_asf()
+
+        def scenario():
+            return {s: measure_handoff_rate(asf, s) for s in SEEDS}
+
+        rows = run_once(benchmark, scenario)
+        print("\n[resil] warm hand-off success under drain:")
+        print(format_table(
+            ["seed", "drained", "handoffs", "fallbacks", "rate"],
+            [[s, r["sessions_drained"], r["handoffs"], r["fallbacks"],
+              f"{r['success_rate']:.2f}"] for s, r in rows.items()],
+        ))
+        for r in rows.values():
+            assert r["sessions_drained"] >= 1
+            assert r["success_rate"] == 1.0
+            assert r["clients_relocated"] == r["handoffs"]
+        _emit(handoff_success={str(s): r for s, r in rows.items()})
+
+
+def _emit(**section):
+    """Merge a result section into BENCH_resilience.json at repo root."""
+    path = Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
+    payload = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            payload = {}
+    payload.update(section)
+    payload["config"] = {
+        "smoke": SMOKE,
+        "seeds": SEEDS,
+        "duration_s": DURATION,
+        "profile": "dsl-256k",
+        "heartbeat_interval_s": INTERVAL,
+        "miss_threshold": MISS,
+        "crash_at_s": CRASH_AT,
+        "remove_at_s": REMOVE_AT,
+        "viewers": VIEWERS,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")

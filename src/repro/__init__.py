@@ -22,6 +22,13 @@ Subpackages
 :mod:`repro.streaming`
     The media server (publishing points, unicast/broadcast pacing) and the
     jitter-buffered player.
+:mod:`repro.control`
+    Supervision plane: heartbeat failure detection, graceful drains with
+    warm session hand-off, and the latent-edge autoscaler.
+:mod:`repro.load`
+    Million-viewer workload generation and the cohort load harness.
+:mod:`repro.obs`
+    End-to-end observability: tracer, cross-layer trace checker, QoE.
 :mod:`repro.lod`
     The Lecture-on-Demand application: recorder, orchestrator, web
     publishing manager, level-based replay, classroom floor control.
@@ -51,11 +58,14 @@ __version__ = "1.0.0"
 __all__ = [
     "asf",
     "contenttree",
+    "control",
     "core",
+    "load",
     "lod",
     "media",
     "metrics",
     "net",
+    "obs",
     "streaming",
     "web",
 ]

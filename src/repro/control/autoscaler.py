@@ -1,0 +1,270 @@
+"""Elastic edge capacity in the buildbot latent-worker mold.
+
+A :class:`LatentEdge` is capacity that exists as *potential*: a name and
+a factory. ``substantiate()`` builds (or re-awakens) the relay and joins
+it to the :class:`~repro.streaming.edge.EdgeDirectory`; the consistent-
+hash ring's bounded-reshuffle property keeps the join cheap.
+``insubstantiate()`` gracefully *drains* the relay — warm-handing its
+live sessions to ring successors — before removing it, so scaling down
+never looks like a crash. A previously substantiated relay keeps its
+:class:`~repro.streaming.edge.PacketRunCache` warm across latency, the
+same way a stopped EC2 latent worker keeps its disk.
+
+The :class:`Autoscaler` is the supervisor loop: it samples ``repro.obs``
+rollup signals (per-edge modeled viewer counts via ``multiplicity``,
+``bytes_served`` deltas, an optional QoE-percentile probe) on a periodic
+tick and compares audience-per-live-edge against a
+:class:`CapacityPolicy`. Hysteresis is two-fold: a signal must *sustain*
+for ``policy.sustain`` consecutive samples before acting, and actions
+are separated by ``policy.cooldown`` seconds — a flash crowd spike
+produces one scale-up, not a thrash storm, and the tail of the wave
+produces one drain.
+
+The sampling task **is** skippable: unlike the heartbeat sweep, a
+skipped sample in a quiet fast-forward window observes nothing that a
+later sample will not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..metrics.counters import Counters
+from ..net.engine import PeriodicTask
+
+
+@dataclass(frozen=True)
+class CapacityPolicy:
+    """Scaling thresholds and hysteresis knobs."""
+
+    #: modeled viewers per live edge above which we want more capacity
+    high_load: float = 48.0
+    #: modeled viewers per live edge below which capacity is surplus
+    low_load: float = 8.0
+    #: consecutive out-of-band samples required before acting
+    sustain: int = 2
+    #: minimum seconds between consecutive scaling actions
+    cooldown: float = 10.0
+    #: never drain below this many live edges
+    min_edges: int = 1
+    #: QoE guard: startup-delay p95 above this also counts as a high
+    #: signal (None disables the probe)
+    max_startup_p95: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.low_load >= self.high_load:
+            raise ValueError("low_load must be < high_load")
+        if self.sustain < 1:
+            raise ValueError("sustain must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        if self.min_edges < 1:
+            raise ValueError("min_edges must be >= 1")
+
+
+class LatentEdge:
+    """A named edge that exists only as a factory until needed.
+
+    ``factory(name)`` must build a connected
+    :class:`~repro.streaming.edge.EdgeRelay` (host wired to the origin
+    and any client hosts the deployment needs) and return it. The relay
+    object is kept across insubstantiation so a re-substantiated edge
+    comes back with a warm packet-run cache.
+    """
+
+    def __init__(self, name: str, factory: Callable[[str], Any], *, capacity: Optional[int] = None) -> None:
+        self.name = name
+        self.factory = factory
+        self.capacity = capacity
+        self.relay = None
+        self.substantiated = False
+
+    def substantiate(self, directory):
+        """Build (or re-awaken) the relay and join it to the ring."""
+        if self.substantiated:
+            return self.relay
+        if self.relay is None:
+            self.relay = self.factory(self.name)
+        elif self.relay.crashed:
+            self.relay.restart()
+        # a relay parked by a previous drain is admitting again
+        self.relay.draining = False
+        directory.add_edge(self.name, relay=self.relay, capacity=self.capacity)
+        self.substantiated = True
+        return self.relay
+
+    def insubstantiate(self, directory) -> Dict[str, int]:
+        """Gracefully drain the relay and leave the ring."""
+        if not self.substantiated:
+            return {"handoffs": 0, "fallbacks": 0}
+        stats = self.relay.drain(directory)
+        directory.remove_edge(self.name)
+        self.substantiated = False
+        return stats
+
+
+class Autoscaler:
+    """Watches per-edge load and drives latent capacity with hysteresis."""
+
+    def __init__(
+        self,
+        simulator,
+        directory,
+        *,
+        latent=(),
+        policy: Optional[CapacityPolicy] = None,
+        interval: float = 1.0,
+        monitor=None,
+        qoe_probe: Optional[Callable[[], Optional[float]]] = None,
+        tracer=None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("sample interval must be > 0")
+        self.simulator = simulator
+        self.directory = directory
+        self.policy = policy if policy is not None else CapacityPolicy()
+        self.interval = interval
+        self.monitor = monitor
+        #: optional callable returning the current startup-delay p95 (a
+        #: repro.obs QoE rollup) or None when no data yet
+        self.qoe_probe = qoe_probe
+        self.tracer = tracer
+        self.counters = Counters("control-autoscaler")
+        self._latent: List[LatentEdge] = list(latent)
+        #: LIFO of latent edges we substantiated — scale-down unwinds
+        #: our own actions, never the tier's base edges
+        self._active: List[LatentEdge] = []
+        self._high_streak = 0
+        self._low_streak = 0
+        self._last_action: Optional[float] = None
+        self._task: Optional[PeriodicTask] = None
+        #: (time, per_edge_load, live_edges) per sample
+        self.samples: List[Dict[str, Any]] = []
+        self._last_bytes: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._task is None:
+            # skippable: a sample skipped in a quiet window is information-
+            # free; the heartbeat sweep is the non-skippable watchdog
+            self._task = PeriodicTask(
+                self.simulator,
+                self.interval,
+                self.sample,
+                start_delay=self.interval,
+                skippable=True,
+            )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    # ------------------------------------------------------------------
+
+    def _signals(self) -> Dict[str, Any]:
+        live = 0
+        viewers = 0
+        bytes_delta = 0
+        for name in sorted(self.directory.edges()):
+            if not self.directory.is_available(name):
+                continue
+            live += 1
+            viewers += self.directory.edge_load(name)
+            relay = self.directory.relays().get(name)
+            if relay is not None:
+                served = relay.bytes_served
+                bytes_delta += served - self._last_bytes.get(name, 0)
+                self._last_bytes[name] = served
+        per_edge = viewers / live if live else float(viewers)
+        return {
+            "live_edges": live,
+            "viewers": viewers,
+            "per_edge": per_edge,
+            "bytes_delta": bytes_delta,
+        }
+
+    def sample(self) -> Dict[str, Any]:
+        now = self.simulator.now
+        signals = self._signals()
+        self.counters.inc("samples")
+        startup_p95 = self.qoe_probe() if self.qoe_probe is not None else None
+        high = signals["per_edge"] > self.policy.high_load
+        if (
+            self.policy.max_startup_p95 is not None
+            and startup_p95 is not None
+            and startup_p95 > self.policy.max_startup_p95
+        ):
+            high = True
+        low = signals["per_edge"] < self.policy.low_load
+        self._high_streak = self._high_streak + 1 if high else 0
+        self._low_streak = self._low_streak + 1 if low else 0
+        self.samples.append({"time": now, **signals})
+        if self.tracer is not None:
+            self.tracer.event(
+                "scale.sample",
+                live_edges=signals["live_edges"],
+                viewers=signals["viewers"],
+                per_edge=round(signals["per_edge"], 3),
+            )
+        in_cooldown = (
+            self._last_action is not None
+            and now - self._last_action < self.policy.cooldown
+        )
+        if not in_cooldown:
+            if self._high_streak >= self.policy.sustain:
+                self._scale_up(now, signals)
+            elif self._low_streak >= self.policy.sustain:
+                self._scale_down(now, signals)
+        return signals
+
+    # ------------------------------------------------------------------
+
+    def _next_latent(self) -> Optional[LatentEdge]:
+        for latent in self._latent:
+            if not latent.substantiated:
+                return latent
+        return None
+
+    def _scale_up(self, now: float, signals: Dict[str, Any]) -> None:
+        latent = self._next_latent()
+        if latent is None:
+            return
+        relay = latent.substantiate(self.directory)
+        self._active.append(latent)
+        if self.monitor is not None:
+            self.monitor.watch(relay)
+        self._last_action = now
+        self._high_streak = 0
+        self.counters.inc("scale_ups")
+        if self.tracer is not None:
+            self.tracer.event(
+                "scale.up", edge=latent.name, per_edge=round(signals["per_edge"], 3)
+            )
+
+    def _scale_down(self, now: float, signals: Dict[str, Any]) -> None:
+        if signals["live_edges"] <= self.policy.min_edges or not self._active:
+            return
+        latent = self._active.pop()
+        if self.monitor is not None:
+            self.monitor.unwatch(latent.name)
+        stats = latent.insubstantiate(self.directory)
+        self._last_bytes.pop(latent.name, None)
+        self._last_action = now
+        self._low_streak = 0
+        self.counters.inc("scale_downs")
+        if self.tracer is not None:
+            self.tracer.event(
+                "scale.down",
+                edge=latent.name,
+                handoffs=stats.get("handoffs", 0),
+                fallbacks=stats.get("fallbacks", 0),
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def active_latent(self) -> List[str]:
+        return [latent.name for latent in self._active]

@@ -1,0 +1,318 @@
+"""Heartbeat failure detection for the edge tier.
+
+Edges do not *report* failure — they just stop talking. The
+:class:`HeartbeatMonitor` arms a small beacon task on every watched
+relay's host that sends a heartbeat datagram to the controller host over
+the real simulated network, so everything that can silence an edge in
+production silences it here too: a crash stops the beacon at the source,
+a severed or partitioned link drops it in flight, a lossy link thins it.
+
+Suspicion is a sweep over last-heard times: an edge silent for more than
+``miss_threshold`` expected intervals is marked down in the
+:class:`~repro.streaming.edge.EdgeDirectory` — the only caller of
+``mark_down``/``mark_up`` in the system; tests never need to touch them
+again. Intervals are **per-edge adaptive**: each edge can declare its
+own beacon interval, and the monitor additionally learns the largest
+benign inter-beat gap it has observed (a lossy beacon path that drops
+every other beat teaches the monitor a wider tolerance instead of a
+false suspicion). Suspicion periods never feed the learner, so a long
+outage does not permanently deafen detection.
+
+A suspected edge that beats again rejoins cleanly (``mark_up``); its
+in-flight fills and viewer sessions were never touched. A suspected edge
+that actually *crashed* left upstream replica sessions orphaned on the
+origin — the monitor settles those immediately at suspicion time
+(posting the close on the origin's control route) instead of letting
+them leak until a restart or shutdown that may never come.
+
+Everything is deterministic: beacon phases are sha1-derived from
+``(seed, edge name)``, tasks are epoch-anchored
+:class:`~repro.net.engine.PeriodicTask`\\ s, and both beacons and sweeps
+are deliberately **not** skippable — a leapt beacon would look exactly
+like a dead edge to the next sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional
+
+from ..metrics.counters import Counters
+from ..net.engine import PeriodicTask
+from ..net.transport import DatagramChannel, Message
+from ..web.http import HTTPClient, HTTPError
+
+#: heartbeat datagram payload size (bytes on the wire, before UDP/IP
+#: framing) — edge name plus a tiny fixed header
+HEARTBEAT_WIRE_SIZE = 32
+
+
+class _WatchState:
+    """Everything the monitor tracks about one edge."""
+
+    __slots__ = (
+        "name",
+        "relay",
+        "interval",
+        "expected",
+        "last_beat",
+        "suspected",
+        "suspected_at",
+        "beacon",
+        "channel",
+    )
+
+    def __init__(self, name, relay, interval, armed_at):
+        self.name = name
+        self.relay = relay
+        #: declared beacon interval for this edge
+        self.interval = interval
+        #: adaptive expected gap: starts at the declared interval, only
+        #: ever widened by observed benign gaps
+        self.expected = interval
+        #: arming counts as a beat — a freshly watched edge gets a full
+        #: grace window before it can be suspected
+        self.last_beat = armed_at
+        self.suspected = False
+        self.suspected_at = None
+        self.beacon = None
+        self.channel = None
+
+
+class HeartbeatMonitor:
+    """Missed-heartbeat failure detector driving the edge directory.
+
+    ``watch_directory()`` arms a beacon on every relay the directory
+    knows; ``start()`` arms the suspicion sweep. Beacon send phases are
+    staggered deterministically per edge so a fleet of edges never
+    synchronizes its beats onto one simulator instant.
+    """
+
+    def __init__(
+        self,
+        network,
+        directory,
+        *,
+        host: str = "controller",
+        interval: float = 0.5,
+        miss_threshold: int = 3,
+        sweep_interval: Optional[float] = None,
+        seed: int = 0,
+        beacon_bandwidth: float = 1_000_000.0,
+        beacon_delay: float = 0.005,
+        tracer=None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("heartbeat interval must be > 0")
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        self.network = network
+        self.simulator = network.simulator
+        self.directory = directory
+        self.host = network.add_host(host)
+        self.interval = interval
+        self.miss_threshold = miss_threshold
+        self.sweep_interval = sweep_interval if sweep_interval is not None else interval
+        self.seed = seed
+        self.beacon_bandwidth = beacon_bandwidth
+        self.beacon_delay = beacon_delay
+        self.tracer = tracer
+        self.counters = Counters("control-monitor")
+        #: (time, edge, silence) per suspicion — detection-latency data
+        self.suspicions: List[Dict[str, Any]] = []
+        self._watched: Dict[str, _WatchState] = {}
+        self._sweep_task: Optional[PeriodicTask] = None
+        #: (origin_url, session_id) closes that failed and await retry
+        self._settle_retry: List[tuple] = []
+        self._http = HTTPClient(network, host)
+
+    # ------------------------------------------------------------------
+    # arming
+
+    def watch(self, relay, *, interval: Optional[float] = None) -> None:
+        """Arm a heartbeat beacon on ``relay``'s host.
+
+        ``interval`` overrides the monitor default for this edge — the
+        per-edge half of the adaptive-interval contract (the other half
+        is learned from observed gaps).
+        """
+        name = relay.name
+        if name in self._watched:
+            return
+        beat_interval = interval if interval is not None else self.interval
+        if beat_interval <= 0:
+            raise ValueError("beacon interval must be > 0")
+        # dedicated control link, created only if the pair is not wired
+        # yet — connect() would *replace* an existing link and silently
+        # shed any fault state scripted onto it
+        if (relay.host, self.host) not in self.network._links:
+            self.network.connect(
+                relay.host,
+                self.host,
+                bandwidth=self.beacon_bandwidth,
+                delay=self.beacon_delay,
+            )
+        state = _WatchState(name, relay, beat_interval, self.simulator.now)
+        state.channel = DatagramChannel(
+            self.network.link(relay.host, self.host), self._on_beat
+        )
+        # deterministic per-edge phase stagger in [0, interval)
+        digest = hashlib.sha1(f"{self.seed}:{name}".encode()).hexdigest()
+        phase = (int(digest[:8], 16) / float(1 << 32)) * beat_interval
+        # NOT skippable: a quiet-window fast_forward that leapt beacons
+        # would present the next sweep with a silent, healthy edge
+        state.beacon = PeriodicTask(
+            self.simulator,
+            beat_interval,
+            lambda s=state: self._beat(s),
+            start_delay=phase,
+            skippable=False,
+        )
+        self._watched[name] = state
+
+    def watch_directory(self) -> None:
+        """Arm beacons for every relay the directory holds an object for."""
+        for name, relay in sorted(self.directory.relays().items()):
+            if relay is not None:
+                self.watch(relay)
+
+    def unwatch(self, name: str) -> None:
+        """Stop the beacon and forget the edge (e.g. scaled away)."""
+        state = self._watched.pop(name, None)
+        if state is not None and state.beacon is not None:
+            state.beacon.stop()
+
+    def start(self) -> None:
+        """Arm the suspicion sweep (idempotent)."""
+        if self._sweep_task is None:
+            # NOT skippable, same reasoning as the beacons
+            self._sweep_task = PeriodicTask(
+                self.simulator,
+                self.sweep_interval,
+                self._sweep,
+                start_delay=self.sweep_interval,
+                skippable=False,
+            )
+
+    def stop(self) -> None:
+        """Stop sweep and all beacons (a stopped monitor schedules
+        nothing, so a drained simulator stays drained)."""
+        if self._sweep_task is not None:
+            self._sweep_task.stop()
+            self._sweep_task = None
+        for state in self._watched.values():
+            if state.beacon is not None:
+                state.beacon.stop()
+                state.beacon = None
+
+    # ------------------------------------------------------------------
+    # beacon path
+
+    def _beat(self, state: _WatchState) -> None:
+        # a crashed relay's host sends nothing — silence at the source
+        if state.relay is not None and state.relay.crashed:
+            return
+        state.channel.send(Message(("beat", state.name), HEARTBEAT_WIRE_SIZE))
+
+    def _on_beat(self, message: Message) -> None:
+        kind, name = message.payload
+        state = self._watched.get(name)
+        if kind != "beat" or state is None:
+            return
+        now = self.simulator.now
+        self.counters.inc("beats")
+        gap = now - state.last_beat
+        if not state.suspected and gap <= self.miss_threshold * state.expected:
+            # benign gap (e.g. a lossy beacon path eating alternate
+            # beats): widen tolerance. Suspicion-period gaps are outage
+            # evidence, not cadence, and must not deafen the detector.
+            state.expected = max(state.expected, gap)
+        state.last_beat = now
+        if state.suspected:
+            state.suspected = False
+            state.suspected_at = None
+            self.directory.mark_up(name)
+            self.counters.inc("rejoins")
+            if self.tracer is not None:
+                self.tracer.event("control.rejoin", edge=name)
+
+    # ------------------------------------------------------------------
+    # suspicion sweep
+
+    def _threshold(self, state: _WatchState) -> float:
+        return self.miss_threshold * max(state.expected, state.interval)
+
+    def _sweep(self) -> None:
+        now = self.simulator.now
+        self.counters.inc("sweeps")
+        self._retry_settlements()
+        for name in sorted(self._watched):
+            state = self._watched[name]
+            if state.suspected:
+                continue
+            silence = now - state.last_beat
+            threshold = self._threshold(state)
+            if silence > threshold:
+                self._suspect(state, silence, threshold)
+
+    def _suspect(self, state: _WatchState, silence: float, threshold: float) -> None:
+        now = self.simulator.now
+        state.suspected = True
+        state.suspected_at = now
+        self.directory.mark_down(state.name)
+        self.counters.inc("suspicions")
+        self.suspicions.append(
+            {"time": now, "edge": state.name, "silence": silence}
+        )
+        if self.tracer is not None:
+            self.tracer.event(
+                "control.suspect",
+                edge=state.name,
+                silence=round(silence, 6),
+                threshold=round(threshold, 6),
+            )
+        # a crashed edge left its origin-side replica sessions orphaned;
+        # settle them now instead of waiting for a restart/shutdown that
+        # may never come. A suspected-but-alive edge keeps everything.
+        if state.relay is not None and state.relay.crashed:
+            self._settle_orphans(state.relay)
+
+    # ------------------------------------------------------------------
+    # orphan settlement (the suspicion/fill interaction fix)
+
+    def _settle_orphans(self, relay) -> None:
+        for session_id in relay.take_upstream_orphans():
+            self._settle(relay.origin_url, session_id)
+
+    def _settle(self, origin_url: str, session_id: int) -> None:
+        try:
+            response = self._http.post(
+                f"{origin_url}/control/close", body={"session_id": session_id}
+            )
+        except HTTPError:
+            response = None
+        if response is not None and (response.ok or response.status == 409):
+            # 409: the origin already dropped it (e.g. its own crash)
+            self.counters.inc("orphans_settled")
+        else:
+            self._settle_retry.append((origin_url, session_id))
+
+    def _retry_settlements(self) -> None:
+        if not self._settle_retry:
+            return
+        pending, self._settle_retry = self._settle_retry, []
+        for origin_url, session_id in pending:
+            self._settle(origin_url, session_id)
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def is_suspected(self, name: str) -> bool:
+        state = self._watched.get(name)
+        return state is not None and state.suspected
+
+    def watched(self) -> List[str]:
+        return sorted(self._watched)
+
+    def expected_interval(self, name: str) -> float:
+        return self._watched[name].expected

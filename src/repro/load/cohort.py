@@ -52,6 +52,7 @@ class CohortViewer:
         tracer=None,
         render_ticker=None,
         recovery=None,
+        directory=None,
         preroll_override: Optional[float] = None,
         heartbeat_interval: float = 0.0,
     ) -> None:
@@ -67,6 +68,7 @@ class CohortViewer:
             user=user or host,
             tracer=tracer,
             recovery=recovery,
+            directory=directory,
             preroll_override=preroll_override,
             multiplicity=size,
             render_ticker=render_ticker,

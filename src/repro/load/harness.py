@@ -31,8 +31,9 @@ from ..asf import ASFEncoder, EncoderConfig, slide_commands
 from ..media import AudioObject, ImageObject, VideoObject, get_profile
 from ..net.engine import SharedTicker
 from ..obs.qoe import QoEAggregator, SessionQoE
-from ..streaming import MediaServer, build_edge_tier
-from ..streaming.client import MediaPlayer, PlayerState
+from ..streaming import MediaServer, PublishError, build_edge_tier
+from ..streaming.client import MediaPlayer, PlayerError, PlayerState
+from ..web.http import HTTPError
 from ..web.http import VirtualNetwork
 from .cohort import CohortViewer
 from .workload import (
@@ -120,6 +121,22 @@ class LoadConfig:
     collect_qoe: bool = True
     max_events: int = 50_000_000
     tracer: Any = None
+    #: :class:`~repro.streaming.recovery.RecoveryConfig` for every player
+    #: (None: stalls are terminal, the pre-chaos behaviour). With a config
+    #: set, each client host is linked to *every* relay so a reconnect can
+    #: re-route to a surviving edge.
+    recovery: Any = None
+    #: :class:`~repro.net.faults.FaultPlan` applied to the built tier
+    #: (origin registered as "origin", relays under their edge names)
+    fault_plan: Any = None
+    #: arm a :class:`~repro.control.HeartbeatMonitor` over the tier so
+    #: crashes are *detected* (directory marked down) rather than known
+    heartbeat_monitor: bool = False
+    monitor_interval: float = 0.5
+    monitor_miss_threshold: int = 3
+    #: shut surviving relays down after the run (settles replica sessions
+    #: so post-run audits can demand an empty origin session table)
+    teardown: bool = False
 
 
 @dataclass
@@ -140,6 +157,9 @@ class LoadResult:
     wall_s: float
     peak_rss: int         #: bytes
     qoe: Dict[str, Any] = field(default_factory=dict)
+    #: supervision-plane facts when a monitor/fault plan ran: monitor
+    #: counters, suspicion timeline, applied fault log
+    control: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def events_per_sec(self) -> float:
@@ -168,6 +188,7 @@ class LoadResult:
             "viewers_per_core": self.viewers_per_core,
             "peak_rss_bytes": self.peak_rss,
             "qoe": self.qoe,
+            "control": self.control,
         }
 
 
@@ -187,6 +208,8 @@ def run_workload(
 
     net = VirtualNetwork()
     sim = net.simulator
+    if cfg.tracer is not None:
+        cfg.tracer.bind_clock(sim)
     origin = MediaServer(
         net, "origin", port=8080,
         shared_pacing=True, pacing_quantum=cfg.pacing_quantum,
@@ -209,6 +232,31 @@ def run_workload(
         for relay in relays:
             for lecture in spec.lectures:
                 relay.prefetch(lecture.name)
+
+    monitor = None
+    if cfg.heartbeat_monitor:
+        from ..control import HeartbeatMonitor
+
+        monitor = HeartbeatMonitor(
+            net, directory,
+            interval=cfg.monitor_interval,
+            miss_threshold=cfg.monitor_miss_threshold,
+            tracer=cfg.tracer,
+        )
+        monitor.watch_directory()
+        monitor.start()
+
+    injector = None
+    fault_offset = 0.0
+    if cfg.fault_plan is not None:
+        from ..net.faults import FaultInjector
+
+        injector = FaultInjector(net, {"origin": origin}, tracer=cfg.tracer)
+        injector.register_directory(directory)
+        # setup (prefetch fills) consumed simulated time; plan times mean
+        # "seconds after the tier is ready", never "before setup ended"
+        fault_offset = sim.now
+        injector.apply(cfg.fault_plan, offset=fault_offset)
 
     def place(arrival: ViewerArrival) -> str:
         return directory.place(f"{arrival.viewer}|{arrival.lecture}")
@@ -242,25 +290,62 @@ def run_workload(
         elif delegate.state in (PlayerState.PLAYING, PlayerState.PAUSED):
             delegate.seek(position)
 
+    # with recovery armed, a player may re-route to any surviving relay,
+    # so its host needs a provisioned link to each of them up front
+    def _connect_client(host: str, placed_relay) -> None:
+        targets = relays if cfg.recovery is not None else [placed_relay]
+        for r in targets:
+            net.connect(r.host, host,
+                        bandwidth=cfg.client_bandwidth, delay=cfg.client_delay)
+
+    client_directory = directory if cfg.recovery is not None else None
+
+    # a flash-crowd arrival can land on an edge that died moments earlier
+    # — before the monitor's suspicion re-routes placement. With recovery
+    # armed those joins are *deferred*: re-resolved through the directory
+    # and retried until detection catches up (bounded), instead of
+    # aborting the whole run on one unlucky viewer.
+    joins_deferred = [0]
+    join_retry_delay = max(cfg.monitor_interval, 0.5)
+
+    def _deferred_join(host: str, lecture: str, start_fn, attempt: int = 0):
+        try:
+            start_fn(directory.url_for(host, lecture) if attempt else None)
+        except (PlayerError, PublishError, HTTPError):
+            if client_directory is None or attempt >= 8:
+                raise
+            joins_deferred[0] += 1
+            sim.schedule(
+                join_retry_delay,
+                lambda: _deferred_join(host, lecture, start_fn, attempt + 1),
+            )
+
     if mode == "cohort":
         plans = plan_cohorts(script, place, join_quantum=spec.join_quantum)
         for idx, plan in enumerate(plans):
             relay = relay_by_name[plan.edge]
             host = f"cohort{idx}"
-            net.connect(relay.host, host,
-                        bandwidth=cfg.client_bandwidth, delay=cfg.client_delay)
+            _connect_client(host, relay)
             cohort = CohortViewer(
                 net, host, relay.url_of(plan.lecture),
                 size=plan.multiplicity,
                 tracer=cfg.tracer,
                 render_ticker=render_ticker,
+                recovery=cfg.recovery,
+                directory=client_directory,
                 heartbeat_interval=cfg.heartbeat_interval,
             )
             cohorts.append(cohort)
+
+            def _cohort_start(url, c=cohort, p=plan):
+                if url is not None:
+                    c.url = url
+                c.start(start=p.start_position, burst_factor=cfg.burst_factor)
+
             actions.append((
                 plan.join_time, next(seq),
-                lambda c=cohort, p=plan: c.start(
-                    start=p.start_position, burst_factor=cfg.burst_factor),
+                lambda h=host, p=plan, fn=_cohort_start:
+                    _deferred_join(h, p.lecture, fn),
             ))
             for member in plan.individuating_members():
                 if member.seek is not None:
@@ -276,8 +361,9 @@ def run_workload(
                         lambda c=cohort, m=member: c.depart(user=m.viewer),
                     ))
     else:
-        def _join(player: MediaPlayer, relay, arrival: ViewerArrival) -> None:
-            player.connect(relay.url_of(arrival.lecture))
+        def _join(player: MediaPlayer, relay, arrival: ViewerArrival,
+                  url: Optional[str] = None) -> None:
+            player.connect(url or relay.url_of(arrival.lecture))
             player.play(start=arrival.start_position,
                         burst_factor=cfg.burst_factor)
 
@@ -291,16 +377,19 @@ def run_workload(
 
         for arrival in script.arrivals:
             relay = relay_by_name[place(arrival)]
-            net.connect(relay.host, arrival.viewer,
-                        bandwidth=cfg.client_bandwidth, delay=cfg.client_delay)
+            _connect_client(arrival.viewer, relay)
             player = MediaPlayer(
                 net, arrival.viewer, user=arrival.viewer,
                 tracer=cfg.tracer, render_ticker=render_ticker,
+                recovery=cfg.recovery, directory=client_directory,
             )
             players.append(player)
             actions.append((
                 arrival.join_time, next(seq),
-                lambda p=player, r=relay, a=arrival: _join(p, r, a),
+                lambda p=player, r=relay, a=arrival: _deferred_join(
+                    a.viewer, a.lecture,
+                    lambda url, p=p, r=r, a=a: _join(p, r, a, url=url),
+                ),
             ))
             if arrival.seek is not None:
                 seek_at, seek_to = arrival.seek
@@ -330,7 +419,16 @@ def run_workload(
     sim.fast_forward(horizon, max_events=cfg.max_events)
     for cohort in cohorts:
         cohort.stop_heartbeat()
+    if monitor is not None:
+        # beacons and sweeps are non-skippable by design; a live monitor
+        # would keep the queue populated forever
+        monitor.stop()
     sim.run(max_events=cfg.max_events)
+    if cfg.teardown:
+        for relay in relays:
+            if not relay.crashed and not relay.draining:
+                relay.shutdown()
+        sim.run(max_events=cfg.max_events)
     wall = time.perf_counter() - t0
 
     qoe_summary: Dict[str, Any] = {}
@@ -344,6 +442,19 @@ def run_workload(
                 SessionQoE.from_report(player.report(), client=player.user)
             )
         qoe_summary = aggregator.summary()
+
+    control_facts: Dict[str, Any] = {}
+    if monitor is not None:
+        control_facts["monitor"] = monitor.counters.as_dict()
+        control_facts["suspicions"] = list(monitor.suspicions)
+    if joins_deferred[0]:
+        control_facts["joins_deferred"] = joins_deferred[0]
+    if injector is not None:
+        control_facts["fault_offset"] = fault_offset
+        control_facts["faults_applied"] = [
+            {"time": at, "kind": kind, "target": "/".join(target)}
+            for at, kind, target in injector.log
+        ]
 
     splits = sum(len(c.splits) for c in cohorts)
     if mode == "cohort":
@@ -367,4 +478,5 @@ def run_workload(
         wall_s=wall,
         peak_rss=peak_rss_bytes(),
         qoe=qoe_summary,
+        control=control_facts,
     )

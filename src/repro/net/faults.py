@@ -64,10 +64,49 @@ class FaultPlan:
     def __init__(self, name: str = "chaos") -> None:
         self.name = name
         self.actions: List[FaultAction] = []
+        #: (family, directed target) -> [(start, end)] windows already
+        #: claimed through the builder methods; the validation ledger
+        self._windows: Dict[Tuple[str, Tuple[str, ...]], List[Tuple[float, float]]] = {}
 
     def add(self, action: FaultAction) -> "FaultPlan":
+        """Append a raw action. Bypasses window validation — the builder
+        methods are the checked surface; ``add`` is the escape hatch for
+        deliberately pathological timelines."""
         self.actions.append(action)
         return self
+
+    def _register_window(
+        self,
+        family: str,
+        target: Tuple[str, ...],
+        at: float,
+        until: Optional[float],
+    ) -> None:
+        """Claim [at, until) for ``family`` on ``target`` or refuse.
+
+        A plan where two windows of the same family overlap on the same
+        directed target is almost always a scripting bug — the second
+        reversal silently clobbers the first and the timeline no longer
+        means what it reads as. Out-of-order (``until <= at``) windows are
+        rejected for the same reason. Boundary-touching windows (one ends
+        exactly where the next starts) are fine.
+        """
+        end = float("inf") if until is None else until
+        if end <= at:
+            raise SimulationError(
+                f"plan {self.name!r}: {family} window on "
+                f"{'/'.join(target)} is out of order "
+                f"(starts at {at:g}s, ends at {end:g}s)"
+            )
+        claimed = self._windows.setdefault((family, target), [])
+        for start, stop in claimed:
+            if at < stop and start < end:
+                raise SimulationError(
+                    f"plan {self.name!r}: {family} window "
+                    f"[{at:g}s, {end:g}s) on {'/'.join(target)} overlaps "
+                    f"existing window [{start:g}s, {stop:g}s)"
+                )
+        claimed.append((at, end))
 
     def _pairs(self, a: str, b: str, both: bool) -> List[Tuple[str, str]]:
         return [(a, b), (b, a)] if both else [(a, b)]
@@ -80,6 +119,7 @@ class FaultPlan:
     ) -> "FaultPlan":
         """Cut a↔b at ``at``; restore at ``until`` if given."""
         for pair in self._pairs(a, b, both):
+            self._register_window("link", pair, at, until)
             self.add(FaultAction(at, "link_down", pair))
             if until is not None:
                 self.add(FaultAction(until, "link_up", pair))
@@ -91,6 +131,7 @@ class FaultPlan:
     ) -> "FaultPlan":
         """i.i.d. loss at ``rate`` on a→b (both directions if asked)."""
         for pair in self._pairs(a, b, both):
+            self._register_window("loss", pair, at, until)
             self.add(FaultAction(at, "loss", pair, {"rate": rate}))
             if until is not None:
                 self.add(FaultAction(until, "clear_loss", pair))
@@ -104,6 +145,7 @@ class FaultPlan:
         """Gilbert–Elliott burst loss with the given stationary rate."""
         model = GilbertElliott.from_average(average, mean_burst=mean_burst)
         for pair in self._pairs(a, b, both):
+            self._register_window("loss", pair, at, until)
             self.add(FaultAction(at, "burst_loss", pair, {"model": model}))
             if until is not None:
                 self.add(FaultAction(until, "clear_loss", pair))
@@ -118,6 +160,7 @@ class FaultPlan:
         if (factor is None) == (bps is None):
             raise SimulationError("bandwidth fault needs exactly one of factor/bps")
         for pair in self._pairs(a, b, both):
+            self._register_window("bandwidth", pair, at, until)
             self.add(FaultAction(at, "bandwidth", pair,
                                  {"factor": factor, "bps": bps}))
             if until is not None:
@@ -139,10 +182,11 @@ class FaultPlan:
         self, label: str, *, at: float, restart_at: Optional[float] = None
     ) -> "FaultPlan":
         """Kill the named server's process; optionally restart it later."""
+        if restart_at is not None and restart_at < at:
+            raise SimulationError("restart must not precede the crash")
+        self._register_window("server", (label,), at, restart_at)
         self.add(FaultAction(at, "server_crash", (label,)))
         if restart_at is not None:
-            if restart_at < at:
-                raise SimulationError("restart must not precede the crash")
             self.add(FaultAction(restart_at, "server_restart", (label,)))
         return self
 
@@ -161,6 +205,27 @@ class FaultPlan:
         return sorted(
             self.actions, key=lambda a: (a.at, KINDS.index(a.kind))
         )
+
+    def describe(self) -> str:
+        """Human-readable timeline, for chaos-test failure messages.
+
+        A failing chaos assertion is unreadable without knowing what the
+        run was supposed to suffer; embedding this in the message makes
+        the fault script part of the evidence.
+        """
+        lines = [f"FaultPlan {self.name!r}: {len(self.actions)} action(s)"]
+        for action in self.sorted_actions():
+            line = (
+                f"  t={action.at:>8.3f}s  {action.kind:<17} "
+                f"{'/'.join(action.target) or '-'}"
+            )
+            shown = {
+                k: v for k, v in sorted(action.params.items()) if v is not None
+            }
+            if shown:
+                line += "  " + ", ".join(f"{k}={v}" for k, v in shown.items())
+            lines.append(line)
+        return "\n".join(lines)
 
 
 class FaultInjector:
@@ -196,12 +261,19 @@ class FaultInjector:
             if relay is not None:
                 self.register_server(name, relay)
 
-    def apply(self, plan: FaultPlan) -> int:
-        """Schedule every action of ``plan``; returns the count scheduled."""
+    def apply(self, plan: FaultPlan, *, offset: float = 0.0) -> int:
+        """Schedule every action of ``plan``; returns the count scheduled.
+
+        ``offset`` shifts the whole timeline — harnesses whose setup
+        (prefetch, warm-up) consumes simulated time rebase plans to
+        "seconds after setup" instead of rewriting every action.
+        """
+        if offset < 0.0:
+            raise SimulationError(f"plan offset must be >= 0, got {offset}")
         actions = plan.sorted_actions()
         for action in actions:
             self.simulator.schedule_at(
-                action.at, functools.partial(self._execute, action)
+                action.at + offset, functools.partial(self._execute, action)
             )
         return len(actions)
 

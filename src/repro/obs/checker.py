@@ -17,7 +17,14 @@ simulator cannot enforce locally:
   grants only ever go to a free floor;
 * **render monotonicity** — per (client, stream), ``render.unit`` media
   timestamps never decrease, except across an explicit
-  ``playback.seek`` which rebases the playhead.
+  ``playback.seek`` which rebases the playhead;
+* **drain discipline** — every session named by a ``drain.begin`` gets
+  exactly one outcome (``session.handoff`` to an already-open successor
+  session, or ``session.handoff_fallback``) before that edge's
+  ``drain.end``; no outcome arrives outside an active drain, and every
+  drained session is closed by the time the drain ends. Together with
+  QoS hygiene this proves a warm hand-off never double-reserves: the
+  old and new sessions hold distinct reservations, each released once.
 
 Violations accumulate (so one audit reports *all* problems) and
 :meth:`TraceChecker.assert_ok` raises :class:`TraceViolation` with every
@@ -53,6 +60,8 @@ class TraceChecker:
         self.reservations_released = 0
         self.trains_seen = 0
         self.renders_seen = 0
+        self.handoffs_seen = 0
+        self.fallbacks_seen = 0
         self._checked = False
 
     # ------------------------------------------------------------------
@@ -69,6 +78,10 @@ class TraceChecker:
         floor_holder: Optional[str] = None
         # (client, stream) -> last rendered media timestamp (ms)
         render_frontier: Dict[Tuple[str, Any], int] = {}
+        # edge -> {drained session -> outcome or None}; populated by
+        # drain.begin, settled by session.handoff / session.handoff_fallback,
+        # audited and popped by drain.end
+        active_drains: Dict[str, Dict[Any, Optional[str]]] = {}
 
         for record in self.records:
             name = record["name"]
@@ -165,6 +178,69 @@ class TraceChecker:
                     )
                 render_frontier[key] = ts
 
+            elif name == "drain.begin":
+                edge = attrs.get("edge")
+                if edge in active_drains:
+                    self._fail(
+                        f"drain.begin on edge {edge!r} while an earlier "
+                        f"drain is still active (t={t:.3f})"
+                    )
+                else:
+                    active_drains[edge] = {
+                        sid: None for sid in attrs.get("sessions", ())
+                    }
+
+            elif name in ("session.handoff", "session.handoff_fallback"):
+                edge = attrs.get("edge")
+                sid = attrs.get("session")
+                outcome = "handoff" if name == "session.handoff" else "fallback"
+                if outcome == "handoff":
+                    self.handoffs_seen += 1
+                else:
+                    self.fallbacks_seen += 1
+                pending = active_drains.get(edge)
+                if pending is None or sid not in pending:
+                    self._fail(
+                        f"{name} for session {sid!r} outside an active "
+                        f"drain of edge {edge!r} (t={t:.3f})"
+                    )
+                elif pending[sid] is not None:
+                    self._fail(
+                        f"session {sid!r} got a second drain outcome "
+                        f"({pending[sid]} then {outcome}) on edge {edge!r} "
+                        f"(t={t:.3f})"
+                    )
+                else:
+                    pending[sid] = outcome
+                if outcome == "handoff":
+                    to = attrs.get("to")
+                    if to not in open_sessions:
+                        self._fail(
+                            f"handoff of session {sid!r} targets session "
+                            f"{to!r} which is not open (t={t:.3f})"
+                        )
+
+            elif name == "drain.end":
+                edge = attrs.get("edge")
+                pending = active_drains.pop(edge, None)
+                if pending is None:
+                    self._fail(
+                        f"drain.end on edge {edge!r} without a matching "
+                        f"drain.begin (t={t:.3f})"
+                    )
+                else:
+                    for sid, outcome in sorted(pending.items(), key=str):
+                        if outcome is None:
+                            self._fail(
+                                f"drain of edge {edge!r} ended with no "
+                                f"outcome for session {sid!r} (t={t:.3f})"
+                            )
+                        if sid not in closed_sessions:
+                            self._fail(
+                                f"drain of edge {edge!r} ended but session "
+                                f"{sid!r} is not closed (t={t:.3f})"
+                            )
+
             elif name == "playback.seek":
                 # a seek rebases the playhead for every stream of that client
                 client = attrs.get("client", "")
@@ -172,6 +248,8 @@ class TraceChecker:
                     if key[0] == client:
                         del render_frontier[key]
 
+        for edge in sorted(active_drains, key=str):
+            self._fail(f"drain of edge {edge!r} never ended")
         for sid, opened_at in sorted(open_sessions.items(), key=str):
             self._fail(
                 f"session {sid!r} opened at t={opened_at:.3f} never closed"
@@ -203,6 +281,8 @@ class TraceChecker:
             "reservations_released": self.reservations_released,
             "trains_seen": self.trains_seen,
             "renders_seen": self.renders_seen,
+            "handoffs_seen": self.handoffs_seen,
+            "fallbacks_seen": self.fallbacks_seen,
             "violations": len(self.violations),
         }
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import copy
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 from urllib.parse import urlparse
@@ -208,6 +209,9 @@ class MediaPlayer:
         self._reconnecting = False
         self._reconnect_attempts = 0
         self._reconnect_timer: Optional[EventHandle] = None
+        #: identity of the session whose stall started the current
+        #: reconnect loop — the deterministic seed for backoff jitter
+        self._stall_session_id: Optional[int] = None
         #: old (server url, session id) pairs whose close was swallowed by
         #: a partition — that server still thinks they stream (and holds
         #: their QoS channels), so every later attempt retries the close
@@ -243,7 +247,13 @@ class MediaPlayer:
             raise PlayerError("player already connected")
         self.state = PlayerState.CONNECTING
         self._connect_time = self.simulator.now
-        response = self.http.get(url)
+        try:
+            response = self.http.get(url)
+        except HTTPError:
+            # an unreachable server must not wedge the player in
+            # CONNECTING: the caller may retry against another edge
+            self.state = PlayerState.IDLE
+            raise
         if not response.ok:
             self.state = PlayerState.IDLE
             raise PlayerError(f"describe failed: {response.status} {response.body}")
@@ -315,7 +325,7 @@ class MediaPlayer:
             )
         self._control(
             "open", point=self._point, deliver=self._on_packet,
-            multiplicity=self.multiplicity,
+            multiplicity=self.multiplicity, relocate=self._on_relocate,
         )
         if self.tracer is not None:
             self.tracer.event(
@@ -461,8 +471,56 @@ class MediaPlayer:
                 # an *old* edge being down must not block re-routing to a
                 # live one; keep the orphan for a later sweep
 
+    def _on_relocate(self, notice: Dict[str, Any]) -> None:
+        """A draining edge warm-handed our session to a successor.
+
+        Modeled as a control-plane callback riding the open body, the
+        same way ``deliver`` and ``recovery_sink`` ride request/response
+        bodies: the old edge invokes it only *after* the successor has
+        adopted the session at the exact packet cursor. The player just
+        re-points its control/NAK plumbing — the jitter buffer, clock,
+        and playhead are untouched, so a planned drain costs no seek, no
+        replay, and ~0 rebuffer.
+        """
+        if self.state in (PlayerState.IDLE, PlayerState.FINISHED):
+            return
+        if self._reconnecting:
+            # a hand-off racing our own stall recovery: ignore the notice
+            # and let the reconnect loop re-resolve placement itself (the
+            # drained edge closes the old session either way)
+            return
+        self._server_url = notice["url"]
+        self.session_id = notice["session_id"]
+        self._recovery_sink = notice.get("recovery_sink")
+        self._nak_channel = None  # pointed at the drained edge's link
+        included = notice.get("streams")
+        if included is not None and self.header is not None:
+            self._media_streams = [
+                s.stream_number
+                for s in self.header.streams
+                if s.stream_type in ("video", "audio")
+                and s.stream_number in included
+            ]
+            self.selected_video = notice.get("selected_video")
+        self._pending_streams.clear()
+        self.recovery_stats.inc("handoffs")
+        if self.tracer is not None:
+            self.tracer.event(
+                "playback.handoff",
+                span=self._playback_span,
+                client=self.user,
+                target=self._server_url,
+                session=self.session_id,
+            )
+        if self._recovery is not None:
+            # a transfer is not a stall: restart the watchdog clock so the
+            # successor gets a full silence window before suspicion
+            self._recovery.note_arrival()
+        self._arm_recovery()
+
     def _begin_reconnect(self, now: float) -> None:
         """The watchdog fired: delivery stalled (crash or partition)."""
+        self._stall_session_id = self.session_id
         self.recovery_stats.inc("stalls_detected")
         if self.tracer is not None:
             self.tracer.event(
@@ -478,6 +536,18 @@ class MediaPlayer:
         if self.state is PlayerState.PLAYING:
             self._enter_rebuffer(now)
         self._attempt_reconnect()
+
+    def _backoff_jitter(self, attempt: int) -> float:
+        """Deterministic u ∈ [0, 1) for this player/stall/attempt.
+
+        Seeded from the *stalled* session's identity rather than the
+        wall clock or a shared RNG: two chaos runs with the same seed
+        replay byte-identical backoff timelines, yet distinct players
+        (and distinct stalls of one player) de-synchronize.
+        """
+        key = f"{self.user}|{self._stall_session_id}|{attempt}".encode()
+        digest = hashlib.sha1(key).hexdigest()[:8]
+        return int(digest, 16) / float(1 << 32)
 
     def _attempt_reconnect(self) -> None:
         """Close whatever is left of the old session, reopen, resume.
@@ -506,7 +576,7 @@ class MediaPlayer:
             resume_at = self._reconnect_position()
             self._control(
                 "open", point=self._point, deliver=self._on_packet,
-                multiplicity=self.multiplicity,
+                multiplicity=self.multiplicity, relocate=self._on_relocate,
             )
             if self._broadcast:
                 # live: just reattach; the sequence gap across the outage
@@ -531,6 +601,10 @@ class MediaPlayer:
                 * (2 ** (self._reconnect_attempts - 1)),
                 self.recovery_config.reconnect_backoff_max,
             )
+            jitter = self.recovery_config.reconnect_jitter
+            if jitter > 0.0:
+                u = self._backoff_jitter(self._reconnect_attempts)
+                delay *= 1.0 + jitter * (u - 0.5)
             self._reconnect_timer = self.simulator.schedule(
                 delay, self._attempt_reconnect
             )
@@ -1012,6 +1086,7 @@ class MediaPlayer:
             )
         twin._control(
             "open", point=twin._point, deliver=twin._on_packet, multiplicity=1,
+            relocate=twin._on_relocate,
         )
         if self.tracer is not None:
             self.tracer.event(

@@ -152,7 +152,7 @@ class _EdgeEntry:
     def available(self) -> bool:
         if self.down:
             return False
-        if self.relay is not None and self.relay.crashed:
+        if self.relay is not None and (self.relay.crashed or self.relay.draining):
             return False
         if self.capacity is not None and self.load() >= self.capacity:
             return False
@@ -232,6 +232,24 @@ class EdgeDirectory:
 
     def edges(self) -> List[str]:
         return sorted(self._edges)
+
+    def edge_url(self, name: str) -> str:
+        """Base control/playback URL of one edge."""
+        return self._entry(name).url
+
+    def edge_load(self, name: str) -> int:
+        """Modeled viewers on one edge (``multiplicity``-weighted for
+        relays, ``set_load`` for url-only entries) — the autoscaler's
+        per-edge load signal."""
+        entry = self._entry(name)
+        if entry.relay is not None:
+            return entry.relay.sessions.modeled_viewers()
+        return entry.manual_load
+
+    def is_available(self, name: str) -> bool:
+        """Whether the edge currently admits clients (not down, not
+        crashed, not draining, under capacity)."""
+        return self._entry(name).available()
 
     def _entry(self, name: str) -> _EdgeEntry:
         try:
@@ -391,9 +409,18 @@ class EdgeRelay(MediaServer):
         self.fill_nak_interval = fill_nak_interval
         self.fill_nak_rounds = fill_nak_rounds
         self.http_client = HTTPClient(network, host)
+        #: set by :meth:`drain`: the relay stops admitting (directory
+        #: entries report unavailable) while live sessions hand off
+        self.draining = False
         #: point -> origin replica session id (exactly one per local point)
         self._upstream: Dict[str, int] = {}
         self._fills: Dict[str, _FillState] = {}
+        #: point -> cache key of the run last filled for it — the disk
+        #: index beside the cache: it lets a viewer arriving while the
+        #: origin is *unreachable* (describe impossible) still be served
+        #: the cached run instead of refused. Like the cache, it survives
+        #: crash/restart — it models on-disk metadata, not process state.
+        self._cache_keys: Dict[str, str] = {}
         #: upstream session ids whose close never reached the origin (edge
         #: crash, origin outage) — retried until one lands, so the origin's
         #: session table and QoS channels don't leak across edge faults
@@ -459,6 +486,21 @@ class EdgeRelay(MediaServer):
         """Warm the relay: replicate ``name`` before any client asks."""
         self._ensure_local(name)
 
+    def _serve_stale(self, name: str) -> bool:
+        """Publish ``name`` from the cached run, if the disk holds one.
+
+        The origin is unreachable, so no upstream replica session is
+        registered — the origin learns about this replica (if it ever
+        comes back) through the ordinary next fill or shutdown path.
+        """
+        cache_key = self._cache_keys.get(name)
+        cached = self.cache.lookup(cache_key) if cache_key is not None else None
+        if cached is None:
+            return False
+        self.publish(name, cached)
+        self.cache.counters.inc("stale_serves")
+        return True
+
     def _ensure_local(self, name: str) -> None:
         """Make ``name`` a local publishing point (fill if needed)."""
         if self.crashed:
@@ -477,13 +519,23 @@ class EdgeRelay(MediaServer):
         self._begin_fill(name)
 
     def _begin_fill(self, name: str) -> None:
-        response = self.http_client.get(
-            f"{self.origin_url}/lod/{name}?replica=1"
-        )
-        if not response.ok:
+        try:
+            response = self.http_client.get(
+                f"{self.origin_url}/lod/{name}?replica=1"
+            )
+        except HTTPError:
+            response = None
+        if response is None or not response.ok:
+            # the origin cannot even be described — but if a previous
+            # fill left the run on disk, serve stale rather than refuse
+            if self._serve_stale(name):
+                return
+            detail = (
+                "origin unreachable" if response is None
+                else f"{response.status} {response.body}"
+            )
             raise PublishError(
-                f"origin describe of {name!r} failed: "
-                f"{response.status} {response.body}"
+                f"origin describe of {name!r} failed: {detail}"
             )
         # the describe round-trip stepped the simulator re-entrantly: a
         # concurrent open may have published the point (or registered a
@@ -502,6 +554,7 @@ class EdgeRelay(MediaServer):
             self._attach_broadcast(name, header)
             return
         cache_key = body["cache_key"]
+        self._cache_keys[name] = cache_key
         cached = self.cache.lookup(cache_key)
         if cached is not None:
             # the run is already on local disk: the origin sees only a
@@ -661,6 +714,8 @@ class EdgeRelay(MediaServer):
     ) -> StreamSession:
         if self.crashed:
             raise SessionError("server is down")
+        if self.draining:
+            raise SessionError("edge is draining")
         self._ensure_local(name)
         return super().open_session(
             name, client_host, deliver, replica=replica,
@@ -728,6 +783,137 @@ class EdgeRelay(MediaServer):
         self._retry_orphans()
 
     # ------------------------------------------------------------------
+    # graceful drain with warm session hand-off
+    # ------------------------------------------------------------------
+
+    def drain(self, directory: "EdgeDirectory") -> Dict[str, int]:
+        """Gracefully decommission: hand live sessions to ring successors.
+
+        The crash path costs each viewer a stall-watchdog timeout plus a
+        seek+replay reconnect; a *planned* removal shouldn't. ``drain``
+        first stops admitting (the directory reports this edge
+        unavailable), then for every live streaming session transfers
+        the delivery cursor — point, packet-sequence frontier, burst
+        parameters, effectively the pacing-group position — to the first
+        available successor in :meth:`EdgeDirectory.spill_order`, via the
+        successor's ``/control/adopt`` route. The successor opens (and
+        QoS-reserves) its own session starting at exactly the next
+        unsent packet, the client is re-pointed through its ``relocate``
+        callback, and only then is the local session closed (releasing
+        this edge's reservation) — no double-reservation window on a
+        single link, no gap or overlap in the packet stream, ~0 rebuffer.
+
+        If the successor refuses or dies mid-transfer the session falls
+        back to the crash path: it is closed locally and the client's
+        stall watchdog drives an ordinary reconnect. Either way every
+        drained session resolves exactly once, an invariant
+        :class:`~repro.obs.checker.TraceChecker` audits via the
+        ``drain.begin`` / ``session.handoff`` /
+        ``session.handoff_fallback`` / ``drain.end`` records.
+        """
+        if self.crashed:
+            raise SessionError("cannot drain a crashed edge")
+        if self.draining:
+            return {"handoffs": 0, "fallbacks": 0}
+        self.draining = True
+        candidates = [
+            session for session in self.sessions.all()
+            if session.state is SessionState.STREAMING and not session.replica
+        ]
+        if self.tracer is not None:
+            self.tracer.event(
+                "drain.begin",
+                edge=self.name,
+                sessions=[self._sid(s.session_id) for s in candidates],
+            )
+        handoffs = fallbacks = 0
+        for session in candidates:
+            if self._handoff(session, directory):
+                handoffs += 1
+            else:
+                fallbacks += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "drain.end",
+                edge=self.name,
+                handoffs=handoffs,
+                fallbacks=fallbacks,
+            )
+        # whatever remains (paused/finished/connecting sessions, idle
+        # points, upstream replicas) takes the ordinary teardown path
+        self.shutdown()
+        return {"handoffs": handoffs, "fallbacks": fallbacks}
+
+    def _handoff(self, session: StreamSession, directory: "EdgeDirectory") -> bool:
+        """Transfer one session to its ring successor; True on success."""
+        # freeze delivery first: leaving the pacing group syncs
+        # session.packet_cursor to the group frontier, and nothing may be
+        # sent from here while the transfer is in flight
+        self._stop_session_pacing(session)
+        target: Optional[str] = None
+        for name in directory.spill_order(f"{session.client_host}|{session.point}"):
+            if name != self.name and directory.is_available(name):
+                target = name
+                break
+        response = None
+        url = None
+        if target is not None and session.relocate is not None:
+            url = directory.edge_url(target)
+            try:
+                response = self.http_client.post(
+                    f"{url}/control/adopt",
+                    body={
+                        "point": session.point,
+                        "client_host": session.client_host,
+                        "deliver": session.deliver,
+                        "relocate": session.relocate,
+                        "multiplicity": session.multiplicity,
+                        "cursor": session.packet_cursor,
+                        "burst_factor": getattr(session, "_burst_factor", 1.0),
+                        "burst_window_ms": getattr(session, "_burst_window_ms", 0.0),
+                    },
+                )
+            except HTTPError:
+                # the successor died mid-transfer: fall back to the
+                # crash path rather than stranding the viewer
+                response = None
+        if response is not None and response.ok:
+            body = response.body
+            if self.tracer is not None:
+                self.tracer.event(
+                    "session.handoff",
+                    edge=self.name,
+                    to_edge=target,
+                    session=self._sid(session.session_id),
+                    to=body.get("trace_session"),
+                    point=session.point,
+                )
+            session.relocate({
+                "url": url,
+                "session_id": body["session_id"],
+                "recovery_sink": body.get("recovery_sink"),
+                "streams": body.get("streams"),
+                "selected_video": body.get("selected_video"),
+            })
+            self.close_session(session.session_id)
+            return True
+        if self.tracer is not None:
+            self.tracer.event(
+                "session.handoff_fallback",
+                edge=self.name,
+                session=self._sid(session.session_id),
+                point=session.point,
+            )
+        self.close_session(session.session_id)
+        return False
+
+    def take_upstream_orphans(self) -> List[int]:
+        """Hand pending orphaned origin session ids to a settling agent
+        (the heartbeat monitor, at suspicion time) and forget them."""
+        orphans, self._orphan_upstream = self._orphan_upstream, []
+        return orphans
+
+    # ------------------------------------------------------------------
     # faults (mirrors the origin MediaServer API)
     # ------------------------------------------------------------------
 
@@ -752,6 +938,7 @@ class EdgeRelay(MediaServer):
 
     def restart(self) -> None:
         super().restart()
+        self.draining = False
         self._retry_orphans()
 
     # ------------------------------------------------------------------
@@ -917,4 +1104,12 @@ def build_edge_tier(
         )
         relays.append(relay)
         directory.add_edge(relay.name, relay=relay, capacity=capacity)
+    # edge-to-edge mesh: the drain protocol's adopt round-trip runs
+    # peer-to-peer (cursor transfer never transits the origin)
+    for i, a in enumerate(relays):
+        for b in relays[i + 1:]:
+            network.connect(
+                a.host, b.host,
+                bandwidth=backbone_bandwidth, delay=backbone_delay,
+            )
     return directory, relays

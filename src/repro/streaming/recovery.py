@@ -56,6 +56,13 @@ class RecoveryConfig:
     reconnect_backoff: float = 0.25  # first reconnect retry delay
     reconnect_backoff_max: float = 2.0
     max_reconnects: int = 10
+    #: fractional backoff spread in [0, 1]: each retry delay is scaled by
+    #: 1 + jitter·(u − ½) with u derived per-player from a sha1 of the
+    #: stalled session's identity — fully deterministic (two runs with the
+    #: same seed replay the same timeline) yet de-synchronized across
+    #: players so a mass stall doesn't reconnect as a thundering herd.
+    #: 0 (the default) reproduces the un-jittered schedule exactly.
+    reconnect_jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.nak_delay < 0 or self.nak_timeout <= 0:
@@ -66,6 +73,8 @@ class RecoveryConfig:
             raise SimulationError("watchdog_timeout must be positive")
         if self.reconnect_backoff <= 0 or self.max_reconnects < 1:
             raise SimulationError("reconnect settings must be positive")
+        if not 0.0 <= self.reconnect_jitter <= 1.0:
+            raise SimulationError("reconnect_jitter must be in [0, 1]")
 
 
 class RecoveryClient:

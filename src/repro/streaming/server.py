@@ -422,6 +422,52 @@ class MediaServer:
         session._burst_window_ms = window * 1000.0  # type: ignore[attr-defined]
         self._start_pacing(session)
 
+    def adopt_session(
+        self,
+        name: str,
+        client_host: str,
+        deliver: Callable[[DataPacket], None],
+        *,
+        cursor: int = 0,
+        multiplicity: int = 1,
+        burst_factor: float = 1.0,
+        burst_window_ms: float = 0.0,
+        relocate: Optional[Callable] = None,
+    ) -> StreamSession:
+        """Successor side of a warm hand-off: continue another server's
+        delivery from an exact packet cursor.
+
+        Unlike :meth:`play`, which anchors at a *position* and (re)sends
+        from the nearest index point, adoption resumes at precisely the
+        next unsent packet index — the client's buffer already holds
+        everything before it, so there is no seek, no replay, and no gap.
+        A cursor at/past the end of the schedule adopts straight into
+        FINISHED (the predecessor had already delivered everything);
+        broadcast sessions just attach to the live fan-out.
+        """
+        session = self.open_session(
+            name, client_host, deliver, multiplicity=multiplicity
+        )
+        session.relocate = relocate
+        point = self._point(name)
+        session.transition(SessionState.STREAMING)
+        if point.broadcast:
+            return session
+        sched = self._schedules[name]
+        cursor = max(0, min(int(cursor), len(sched.packets)))
+        session.packet_cursor = cursor
+        if cursor < len(sched.packets):
+            session.position = sched.packets[cursor].send_time_ms / 1000.0
+            session._burst_factor = burst_factor  # type: ignore[attr-defined]
+            session._burst_window_ms = burst_window_ms  # type: ignore[attr-defined]
+            self._start_pacing(session)
+        else:
+            session.position = (
+                point.header.file_properties.duration_ms / 1000.0
+            )
+            session.transition(SessionState.FINISHED)
+        return session
+
     def pause(self, session_id: int) -> None:
         session = self.sessions.get(session_id)
         if session.state is SessionState.FINISHED:
@@ -997,6 +1043,9 @@ class MediaServer:
                     replica=bool(body.get("replica")),
                     multiplicity=int(body.get("multiplicity", 1)),
                 )
+                # how to re-point this client if its session is ever
+                # warm-handed to a successor edge (None: crash path only)
+                session.relocate = body.get("relocate")
                 return HTTPResponse(
                     200,
                     body={
@@ -1006,6 +1055,28 @@ class MediaServer:
                         # reverse datagram path for NAKs — callables ride
                         # response bodies the same way `deliver` rides the
                         # open request
+                        "recovery_sink": self._on_recovery_message,
+                    },
+                )
+            if action == "adopt":
+                # warm hand-off: the draining edge posts the session
+                # cursor here; client_host comes from the body (the
+                # *viewer's* host — request.client_host is the edge's)
+                session = self.adopt_session(
+                    body["point"], body["client_host"], body["deliver"],
+                    cursor=int(body.get("cursor", 0)),
+                    multiplicity=int(body.get("multiplicity", 1)),
+                    burst_factor=float(body.get("burst_factor", 1.0)),
+                    burst_window_ms=float(body.get("burst_window_ms", 0.0)),
+                    relocate=body.get("relocate"),
+                )
+                return HTTPResponse(
+                    200,
+                    body={
+                        "session_id": session.session_id,
+                        "trace_session": self._sid(session.session_id),
+                        "streams": self.included_streams(session.session_id),
+                        "selected_video": session.selected_video,
                         "recovery_sink": self._on_recovery_message,
                     },
                 )

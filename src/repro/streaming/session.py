@@ -78,6 +78,12 @@ class StreamSession:
     #: accounting can report modeled audience without per-viewer sessions.
     #: Delivery and QoS stay 1× — one carrier stream feeds the cohort.
     multiplicity: int = 1
+    #: client-side relocation callback for warm hand-off: a draining edge
+    #: invokes it with the successor's coordinates after the successor
+    #: adopted this session (None: client falls back to the crash path)
+    relocate: Optional[Callable[[dict], None]] = field(
+        default=None, repr=False, compare=False
+    )
     #: registry hook: notified after every state change (set by SessionTable)
     _observer: Optional[Callable[["StreamSession"], None]] = field(
         default=None, repr=False, compare=False

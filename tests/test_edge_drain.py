@@ -1,0 +1,261 @@
+"""Graceful drains with warm session hand-off.
+
+A *planned* edge removal must not look like a crash. ``EdgeRelay.drain``
+stops admitting, then transfers each live session's delivery cursor to
+its ring successor over the successor's ``/control/adopt`` route; the
+client is re-pointed through its ``relocate`` callback with the jitter
+buffer, clock, and playhead untouched:
+
+* the happy path costs ~0 rebuffer and no seek/replay — versus the crash
+  path's stall-watchdog timeout plus reconnect;
+* a successor that refuses (or is dead) drops the session to the crash
+  path instead of stranding it — the viewer still recovers, just paying
+  the ordinary reconnect price;
+* the whole protocol is visible to the tracer and audited by
+  :class:`TraceChecker`'s drain invariants: every drained session gets
+  exactly one outcome, hand-off targets are open sessions, QoS is never
+  double-reserved across the pair.
+"""
+
+import os
+
+import pytest
+
+from repro.asf import ASFEncoder, EncoderConfig, slide_commands
+from repro.media import AudioObject, ImageObject, VideoObject, get_profile
+from repro.metrics.counters import reset_counters
+from repro.net import FaultInjector, FaultPlan
+from repro.obs import TraceChecker, Tracer
+from repro.streaming import (
+    MediaPlayer,
+    MediaServer,
+    PlayerState,
+    RecoveryConfig,
+    build_edge_tier,
+)
+
+from repro.web import VirtualNetwork
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+PROFILE = get_profile("dsl-256k")
+DURATION = 20.0
+SLIDES = 4
+
+
+def make_asf():
+    per_slide = DURATION / SLIDES
+    return ASFEncoder(EncoderConfig(profile=PROFILE)).encode_file(
+        file_id="lec",
+        video=VideoObject("talk", DURATION, width=320, height=240, fps=10),
+        audio=AudioObject("voice", DURATION),
+        images=[
+            (ImageObject(f"s{i}", per_slide, width=320, height=240),
+             i * per_slide)
+            for i in range(SLIDES)
+        ],
+        commands=slide_commands(
+            [(f"s{i}", i * per_slide) for i in range(SLIDES)]
+        ),
+    )
+
+
+def make_tier(*, edges=2, tracer=None, seed=0, **tier_kwargs):
+    reset_counters("edge_cache")
+    net = VirtualNetwork()
+    if tracer is not None:
+        tracer.bind_clock(net.simulator)
+        net.simulator.tracer = tracer
+    origin = MediaServer(
+        net, "origin", port=8080, pacing_quantum=0.5,
+        trace_label="origin", tracer=tracer,
+    )
+    origin.publish("lecture", make_asf())
+    directory, relays = build_edge_tier(
+        net, origin, [f"edge{i}" for i in range(edges)],
+        pacing_quantum=0.5, seed=seed, tracer=tracer, **tier_kwargs,
+    )
+    for relay in relays:
+        net.connect(relay.host, "student", bandwidth=2_000_000, delay=0.02)
+        net.link(relay.host, "student").rng.seed(1000 + CHAOS_SEED)
+    return net, origin, directory, relays
+
+
+def start_player(net, directory, tracer=None):
+    player = MediaPlayer(
+        net, "student", directory=directory,
+        recovery=RecoveryConfig(), tracer=tracer,
+    )
+    player.connect(directory.url_for("student", "lecture"))
+    player.play()
+    return player
+
+
+def finish(net, player, horizon=90.0):
+    net.simulator.run_until(horizon)
+    if player.state is not PlayerState.FINISHED:
+        player.stop()
+    return player.report()
+
+
+def teardown_audit(origin, relays, tracer):
+    for relay in relays:
+        if not relay.crashed and not relay.draining:
+            relay.shutdown()
+    assert len(origin.sessions) == 0
+    for server in (origin, *relays):
+        server.sessions.assert_consistent()
+        server.assert_no_qos_leaks()
+    return TraceChecker(tracer.records).assert_ok()
+
+
+class TestWarmHandoff:
+    def test_drain_hands_off_with_zero_rebuffer(self):
+        tracer = Tracer("drain")
+        net, origin, directory, relays = make_tier(tracer=tracer)
+        home = directory.place("student|lecture")
+        home_relay = next(r for r in relays if r.name == home)
+        survivor = next(r for r in relays if r.name != home)
+
+        player = start_player(net, directory, tracer)
+        stats = {}
+        net.simulator.schedule_at(
+            8.0, lambda: stats.update(home_relay.drain(directory))
+        )
+        report = finish(net, player)
+
+        # exactly one warm transfer, zero crash-path activity
+        assert stats == {"handoffs": 1, "fallbacks": 0}
+        assert report.recovery.get("handoffs", 0) == 1
+        assert report.recovery.get("stalls_detected", 0) == 0
+        assert report.recovery.get("reconnect_attempts", 0) == 0
+        # the hand-off cost the viewer essentially nothing
+        assert report.rebuffer_count == 0
+        assert report.rebuffer_time == pytest.approx(0.0, abs=0.05)
+        assert report.duration_watched == pytest.approx(DURATION, abs=0.3)
+        # no gap, no overlap: every rendered unit exactly once, slides in
+        # order across the transfer boundary
+        fired = [c.command.parameter for c in report.slide_changes()]
+        assert fired == [f"s{i}" for i in range(SLIDES)]
+        keys = [
+            (r.unit.stream_number, r.unit.object_number)
+            for r in report.rendered
+        ]
+        assert len(keys) == len(set(keys))
+        # the successor actually served the tail
+        assert survivor.sessions.total_created >= 1
+
+        checker = teardown_audit(origin, relays, tracer)
+        assert checker.handoffs_seen == 1
+        assert checker.fallbacks_seen == 0
+        assert tracer.events("drain.begin") and tracer.events("drain.end")
+        assert tracer.events("playback.handoff")
+        # admission stayed off for the drained edge
+        assert not directory.is_available(home)
+
+    def test_drain_under_qos_never_double_reserves(self):
+        tracer = Tracer("drain-qos")
+        net, origin, directory, relays = make_tier(
+            tracer=tracer, qos_enabled=True
+        )
+        home = directory.place("student|lecture")
+        home_relay = next(r for r in relays if r.name == home)
+
+        player = start_player(net, directory, tracer)
+        net.simulator.schedule_at(8.0, lambda: home_relay.drain(directory))
+        report = finish(net, player)
+
+        assert report.recovery.get("handoffs", 0) == 1
+        assert report.duration_watched == pytest.approx(DURATION, abs=0.3)
+        # the old and new sessions held *distinct* reservations, each
+        # released exactly once — TraceChecker's QoS hygiene plus the
+        # drain invariants prove no double-reservation window existed
+        checker = teardown_audit(origin, relays, tracer)
+        assert checker.reservations_made == checker.reservations_released
+        assert checker.reservations_made >= 2
+
+    def test_drain_is_idempotent_and_refuses_crashed(self):
+        from repro.streaming import SessionError
+
+        net, origin, directory, relays = make_tier()
+        stats = relays[0].drain(directory)
+        assert stats == {"handoffs": 0, "fallbacks": 0}
+        # second drain is a no-op, not a double teardown
+        assert relays[0].drain(directory) == {"handoffs": 0, "fallbacks": 0}
+        relays[1].crash()
+        with pytest.raises(SessionError):
+            relays[1].drain(directory)
+
+
+class TestDrainFallback:
+    def test_no_successor_falls_back_to_crash_path(self):
+        tracer = Tracer("drain-fallback")
+        net, origin, directory, relays = make_tier(
+            tracer=tracer, origin_fallback=True
+        )
+        home = directory.place("student|lecture")
+        home_relay = next(r for r in relays if r.name == home)
+        other = next(r for r in relays if r.name != home)
+        # the only possible successor dies before the drain
+        FaultInjector(net).register_server(other.name, other)
+        injector = FaultInjector(net, {other.name: other})
+        injector.apply(FaultPlan("kill-successor").edge_crash(other.name, at=4.0))
+
+        player = start_player(net, directory, tracer)
+        stats = {}
+        net.simulator.schedule_at(
+            8.0, lambda: stats.update(home_relay.drain(directory))
+        )
+        report = finish(net, player)
+
+        # no viable successor: the session fell back to the crash path
+        assert stats == {"handoffs": 0, "fallbacks": 1}
+        assert report.recovery.get("handoffs", 0) == 0
+        assert report.recovery.get("stalls_detected", 0) >= 1
+        assert report.recovery.get("reconnects", 0) >= 1
+        # the reconnect paid the crash price but playback still completed
+        # end to end (placed onto the origin, the last resort)
+        assert report.rebuffer_count >= 1
+        assert report.duration_watched == pytest.approx(DURATION, abs=0.3)
+        keys = [
+            (r.unit.stream_number, r.unit.object_number)
+            for r in report.rendered
+        ]
+        assert len(keys) == len(set(keys))
+
+        checker = teardown_audit(origin, relays, tracer)
+        assert checker.fallbacks_seen == 1
+        assert checker.handoffs_seen == 0
+        assert tracer.events("session.handoff_fallback")
+
+    def test_successor_dying_mid_transfer_falls_back(self):
+        tracer = Tracer("drain-midfail")
+        net, origin, directory, relays = make_tier(
+            edges=1, tracer=tracer, origin_fallback=True
+        )
+        (edge0,) = relays
+        player = start_player(net, directory, tracer)
+        # a phantom successor: registered in the ring, but nothing
+        # answers at its address — the adopt POST itself fails, which is
+        # exactly what a successor crashing mid-transfer looks like to
+        # the draining edge
+        directory.add_edge("ghost", url="http://ghost:8080")
+        stats = {}
+
+        def drain_and_remove():
+            stats.update(edge0.drain(directory))
+            # the phantom leaves the ring so the client's reconnect
+            # resolves to the origin fallback, not the dead address
+            directory.remove_edge("ghost")
+
+        net.simulator.schedule_at(8.0, drain_and_remove)
+        report = finish(net, player)
+
+        assert stats == {"handoffs": 0, "fallbacks": 1}
+        assert report.recovery.get("handoffs", 0) == 0
+        assert report.recovery.get("stalls_detected", 0) >= 1
+        assert report.recovery.get("reconnects", 0) >= 1
+        assert report.duration_watched == pytest.approx(DURATION, abs=0.3)
+
+        checker = teardown_audit(origin, relays, tracer)
+        assert checker.fallbacks_seen == 1
+        assert checker.handoffs_seen == 0

@@ -163,12 +163,83 @@ class TestFaultPlan:
     def test_sorted_actions_order_by_time_then_kind(self):
         plan = (
             FaultPlan()
-            .server_crash("srv", at=2.0)
             .link_down("a", "b", at=2.0, both=False)
             .loss("a", "b", at=1.0, rate=0.1)
+            .server_crash("srv", at=2.0)
         )
         ordered = plan.sorted_actions()
         assert [a.kind for a in ordered] == ["loss", "link_down", "server_crash"]
+
+
+class TestFaultPlanWindowValidation:
+    def test_overlapping_windows_same_family_target_rejected(self):
+        plan = FaultPlan("overlap").link_down("a", "b", at=1.0, until=3.0)
+        with pytest.raises(SimulationError, match="overlaps"):
+            plan.link_down("a", "b", at=2.0, until=4.0)
+
+    def test_open_ended_window_blocks_everything_after(self):
+        plan = FaultPlan().link_down("a", "b", at=5.0)  # never restored
+        with pytest.raises(SimulationError, match="overlaps"):
+            plan.link_down("a", "b", at=100.0, until=101.0)
+
+    def test_out_of_order_window_rejected(self):
+        with pytest.raises(SimulationError, match="out of order"):
+            FaultPlan().link_down("a", "b", at=3.0, until=3.0)
+        with pytest.raises(SimulationError, match="out of order"):
+            FaultPlan().loss("a", "b", at=3.0, rate=0.1, until=1.0)
+
+    def test_boundary_touching_windows_allowed(self):
+        plan = (
+            FaultPlan()
+            .link_down("a", "b", at=1.0, until=2.0)
+            .link_down("a", "b", at=2.0, until=3.0)  # starts where one ends
+        )
+        assert len(plan.actions) == 8
+
+    def test_distinct_targets_and_families_never_conflict(self):
+        # same window everywhere: different pair, different direction,
+        # different fault family — all independent claims
+        plan = (
+            FaultPlan()
+            .link_down("a", "b", at=1.0, until=2.0, both=False)
+            .link_down("b", "a", at=1.0, until=2.0, both=False)
+            .link_down("a", "c", at=1.0, until=2.0)
+            .loss("a", "b", at=1.0, rate=0.1, until=2.0)
+            .bandwidth("a", "b", at=1.0, factor=0.5, until=2.0)
+            .server_crash("a", at=1.0, restart_at=2.0)
+        )
+        assert plan.actions
+
+    def test_loss_and_burst_loss_share_a_family(self):
+        # both program the same Link knob: letting them overlap would
+        # leave the second clear_loss a no-op lie
+        plan = FaultPlan().loss("a", "b", at=1.0, rate=0.1, until=5.0)
+        with pytest.raises(SimulationError, match="loss"):
+            plan.burst_loss("a", "b", at=2.0, average=0.05, until=3.0)
+
+    def test_double_crash_without_restart_between_rejected(self):
+        plan = FaultPlan().server_crash("srv", at=1.0, restart_at=4.0)
+        with pytest.raises(SimulationError, match="overlaps"):
+            plan.server_crash("srv", at=2.0)
+
+    def test_raw_add_bypasses_validation(self):
+        # the documented escape hatch: hand-built actions skip the claims
+        plan = FaultPlan().link_down("a", "b", at=1.0, until=5.0)
+        plan.add(FaultAction(2.0, "link_down", ("a", "b")))
+        assert len(plan.actions) == 5
+
+    def test_describe_renders_the_timeline(self):
+        plan = (
+            FaultPlan("storm")
+            .loss("a", "b", at=1.5, rate=0.25)
+            .server_crash("srv", at=2.0, restart_at=8.0)
+        )
+        text = plan.describe()
+        assert "FaultPlan 'storm': 3 action(s)" in text
+        lines = text.splitlines()
+        assert "loss" in lines[1] and "a/b" in lines[1] and "rate=0.25" in lines[1]
+        assert "server_crash" in lines[2] and "srv" in lines[2]
+        assert "server_restart" in lines[3] and "t=   8.000s" in lines[3]
 
 
 class _StubServer:
