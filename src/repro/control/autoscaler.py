@@ -51,6 +51,14 @@ class CapacityPolicy:
     #: QoE guard: startup-delay p95 above this also counts as a high
     #: signal (None disables the probe)
     max_startup_p95: Optional[float] = None
+    #: QoE guard: rebuffer-ratio p95 above this also counts as a high
+    #: signal (None disables the probe)
+    max_rebuffer_p95: Optional[float] = None
+    #: throughput guard: tier-wide bytes_served rate (bytes/second of
+    #: sim time) above this counts as a high signal even while viewer
+    #: counts look calm — multicast passthrough moves bytes, not
+    #: sessions (None disables the guard)
+    high_bytes_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.low_load >= self.high_load:
@@ -126,8 +134,10 @@ class Autoscaler:
         self.policy = policy if policy is not None else CapacityPolicy()
         self.interval = interval
         self.monitor = monitor
-        #: optional callable returning the current startup-delay p95 (a
-        #: repro.obs QoE rollup) or None when no data yet
+        #: optional callable returning either the current startup-delay
+        #: p95 (a repro.obs QoE rollup), a dict of percentiles such as
+        #: ``{"startup_p95": ..., "rebuffer_p95": ...}``, or None when
+        #: no data yet
         self.qoe_probe = qoe_probe
         self.tracer = tracer
         self.counters = Counters("control-autoscaler")
@@ -176,7 +186,10 @@ class Autoscaler:
             relay = self.directory.relays().get(name)
             if relay is not None:
                 served = relay.bytes_served
-                bytes_delta += served - self._last_bytes.get(name, 0)
+                if name in self._last_bytes:
+                    bytes_delta += served - self._last_bytes[name]
+                # an edge seen for the first time contributes nothing:
+                # its lifetime byte total is history, not a trend
                 self._last_bytes[name] = served
         per_edge = viewers / live if live else float(viewers)
         return {
@@ -184,18 +197,39 @@ class Autoscaler:
             "viewers": viewers,
             "per_edge": per_edge,
             "bytes_delta": bytes_delta,
+            "bytes_rate": bytes_delta / self.interval,
         }
 
     def sample(self) -> Dict[str, Any]:
         now = self.simulator.now
         signals = self._signals()
         self.counters.inc("samples")
-        startup_p95 = self.qoe_probe() if self.qoe_probe is not None else None
+        # the probe returns either a bare startup-delay p95 (the PR 7
+        # contract) or a dict of QoE percentiles from QoEAggregator
+        # rollups, e.g. {"startup_p95": ..., "rebuffer_p95": ...}
+        probed = self.qoe_probe() if self.qoe_probe is not None else None
+        if isinstance(probed, dict):
+            startup_p95 = probed.get("startup_p95")
+            rebuffer_p95 = probed.get("rebuffer_p95")
+        else:
+            startup_p95 = probed
+            rebuffer_p95 = None
         high = signals["per_edge"] > self.policy.high_load
         if (
             self.policy.max_startup_p95 is not None
             and startup_p95 is not None
             and startup_p95 > self.policy.max_startup_p95
+        ):
+            high = True
+        if (
+            self.policy.max_rebuffer_p95 is not None
+            and rebuffer_p95 is not None
+            and rebuffer_p95 > self.policy.max_rebuffer_p95
+        ):
+            high = True
+        if (
+            self.policy.high_bytes_rate is not None
+            and signals["bytes_rate"] > self.policy.high_bytes_rate
         ):
             high = True
         low = signals["per_edge"] < self.policy.low_load

@@ -281,8 +281,11 @@ class HeartbeatMonitor:
     # orphan settlement (the suspicion/fill interaction fix)
 
     def _settle_orphans(self, relay) -> None:
-        for session_id in relay.take_upstream_orphans():
-            self._settle(relay.origin_url, session_id)
+        # orphans carry their upstream url: in a relay tree a crashed
+        # edge may have held sessions at siblings and its regional
+        # parent, not just the origin
+        for url, session_id in relay.take_upstream_orphans():
+            self._settle(url, session_id)
 
     def _settle(self, origin_url: str, session_id: int) -> None:
         try:

@@ -107,6 +107,21 @@ class LoadConfig:
     """Serving-tier and client knobs for a harness run."""
 
     edges: int = 4
+    #: > 0 builds a multi-level relay tree (:func:`build_relay_tree`)
+    #: with this many regional parents, edges assigned round-robin;
+    #: 0 keeps the flat one-level tier
+    regions: int = 0
+    #: publish lectures the catalog marks ``live`` as *real*
+    #: :class:`~repro.lod.LiveCaptureSession` broadcasts (multicast
+    #: passthrough) instead of pre-encoded VOD files
+    live_capture: bool = False
+    #: optional :class:`~repro.streaming.BackboneBudget` charged by every
+    #: tree fill and live feed
+    backbone_budget: Any = None
+    #: bounded live history served to late joiners (tree mode); kept
+    #: small by default — a flash crowd of real players each receiving
+    #: a long catch-up train costs wall clock, not insight
+    live_history_seconds: float = 5.0
     profile: str = "dsl-256k"
     slides: int = 2
     fps: int = 10
@@ -214,23 +229,56 @@ def run_workload(
         net, "origin", port=8080,
         shared_pacing=True, pacing_quantum=cfg.pacing_quantum,
     )
+    captures: Dict[str, Any] = {}
     for lecture in spec.lectures:
-        origin.publish(
-            lecture.name,
-            encode_lecture(
-                lecture.name, lecture.duration,
-                profile=cfg.profile, slides=cfg.slides, fps=cfg.fps,
-            ),
+        if cfg.live_capture and lecture.live:
+            from ..lod import LiveCaptureSession
+
+            capture = LiveCaptureSession(
+                sim, get_profile(cfg.profile), chunk=0.5
+            )
+            captures[lecture.name] = capture
+            origin.publish(lecture.name, capture.stream)
+        else:
+            origin.publish(
+                lecture.name,
+                encode_lecture(
+                    lecture.name, lecture.duration,
+                    profile=cfg.profile, slides=cfg.slides, fps=cfg.fps,
+                ),
+            )
+    parents: Dict[str, Any] = {}
+    if cfg.regions > 0:
+        from ..streaming import build_relay_tree
+
+        region_map: Dict[str, List[str]] = {
+            f"r{i}": [] for i in range(cfg.regions)
+        }
+        for i in range(cfg.edges):
+            region_map[f"r{i % cfg.regions}"].append(f"edge{i}")
+        directory, parents, relays = build_relay_tree(
+            net, origin, region_map,
+            pacing_quantum=cfg.pacing_quantum,
+            join_quantum=spec.join_quantum,
+            backbone_budget=cfg.backbone_budget,
+            live_history_seconds=cfg.live_history_seconds,
+            tracer=cfg.tracer,
         )
-    directory, relays = build_edge_tier(
-        net, origin, [f"edge{i}" for i in range(cfg.edges)],
-        pacing_quantum=cfg.pacing_quantum, join_quantum=spec.join_quantum,
-        tracer=cfg.tracer,
-    )
+    else:
+        directory, relays = build_edge_tier(
+            net, origin, [f"edge{i}" for i in range(cfg.edges)],
+            pacing_quantum=cfg.pacing_quantum, join_quantum=spec.join_quantum,
+            tracer=cfg.tracer,
+        )
     relay_by_name = {r.name: r for r in relays}
     if cfg.prefetch:
         for relay in relays:
             for lecture in spec.lectures:
+                if lecture.name in captures:
+                    # a broadcast prefetch would pin the upstream feed
+                    # before any viewer exists; live points attach on
+                    # first join instead
+                    continue
                 relay.prefetch(lecture.name)
 
     monitor = None
@@ -272,6 +320,10 @@ def run_workload(
 
     cohorts: List[CohortViewer] = []
     players: List[MediaPlayer] = []
+    #: (viewer object, lecture) for everyone watching a live capture —
+    #: a broadcast has no end-of-stream on the wire, so the harness
+    #: stops these explicitly once the capture finishes
+    live_watchers: List[Tuple[Any, str]] = []
 
     def _member_seek(cohort: CohortViewer, member: ViewerArrival,
                      relay_host: str, position: float) -> None:
@@ -327,7 +379,8 @@ def run_workload(
             host = f"cohort{idx}"
             _connect_client(host, relay)
             cohort = CohortViewer(
-                net, host, relay.url_of(plan.lecture),
+                net, host,
+                f"{directory.edge_url(plan.edge)}/lod/{plan.lecture}",
                 size=plan.multiplicity,
                 tracer=cfg.tracer,
                 render_ticker=render_ticker,
@@ -336,6 +389,8 @@ def run_workload(
                 heartbeat_interval=cfg.heartbeat_interval,
             )
             cohorts.append(cohort)
+            if plan.lecture in captures:
+                live_watchers.append((cohort, plan.lecture))
 
             def _cohort_start(url, c=cohort, p=plan):
                 if url is not None:
@@ -363,7 +418,9 @@ def run_workload(
     else:
         def _join(player: MediaPlayer, relay, arrival: ViewerArrival,
                   url: Optional[str] = None) -> None:
-            player.connect(url or relay.url_of(arrival.lecture))
+            if url is None:
+                url = f"{directory.edge_url(relay.name)}/lod/{arrival.lecture}"
+            player.connect(url)
             player.play(start=arrival.start_position,
                         burst_factor=cfg.burst_factor)
 
@@ -384,6 +441,8 @@ def run_workload(
                 recovery=cfg.recovery, directory=client_directory,
             )
             players.append(player)
+            if arrival.lecture in captures:
+                live_watchers.append((player, arrival.lecture))
             actions.append((
                 arrival.join_time, next(seq),
                 lambda p=player, r=relay, a=arrival: _deferred_join(
@@ -423,11 +482,28 @@ def run_workload(
         # beacons and sweeps are non-skippable by design; a live monitor
         # would keep the queue populated forever
         monitor.stop()
+    for capture in captures.values():
+        # a live capture's chunk task would otherwise feed the queue
+        # forever; finishing closes the broadcast stream end to end
+        capture.finish()
+    for watcher, _ in live_watchers:
+        watcher_players = (
+            [watcher.delegate, *watcher.splits.values()]
+            if isinstance(watcher, CohortViewer) else [watcher]
+        )
+        for p in watcher_players:
+            if p.state not in (PlayerState.IDLE, PlayerState.FINISHED):
+                p.stop()
     sim.run(max_events=cfg.max_events)
     if cfg.teardown:
+        # children before parents: a leaf's upstream close must reach a
+        # parent that is still serving
         for relay in relays:
             if not relay.crashed and not relay.draining:
                 relay.shutdown()
+        for parent in parents.values():
+            if not parent.crashed and not parent.draining:
+                parent.shutdown()
         sim.run(max_events=cfg.max_events)
     wall = time.perf_counter() - t0
 
@@ -443,7 +519,12 @@ def run_workload(
             )
         qoe_summary = aggregator.summary()
 
-    control_facts: Dict[str, Any] = {}
+    control_facts: Dict[str, Any] = {
+        "origin": {
+            "sessions_created": origin.sessions.total_created,
+            "bytes_served": origin.bytes_served,
+        }
+    }
     if monitor is not None:
         control_facts["monitor"] = monitor.counters.as_dict()
         control_facts["suspicions"] = list(monitor.suspicions)

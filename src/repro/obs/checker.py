@@ -24,7 +24,19 @@ simulator cannot enforce locally:
   ``drain.end``; no outcome arrives outside an active drain, and every
   drained session is closed by the time the drain ends. Together with
   QoS hygiene this proves a warm hand-off never double-reserves: the
-  old and new sessions hold distinct reservations, each released once.
+  old and new sessions hold distinct reservations, each released once;
+* **no fill loops** — no ``edge.fill_request`` carries a path visiting
+  the same relay twice, and hop budgets never go negative: the relay
+  tree's fill cascades are provably acyclic and finite;
+* **backbone budget honesty** — every ``backbone.reserve`` is matched
+  by exactly one ``backbone.release``, and the independently re-summed
+  per-link load never exceeds the link's capacity at any point in the
+  trace (the reserve records' own running totals are cross-checked, not
+  trusted);
+* **single upstream live feed per region** — at most one *active*
+  region-entering ``live.feed`` per (region, point) at any time — the
+  multicast tree property that makes origin live egress O(regions) —
+  and every feed is ended by ``live.feed_end`` before the trace ends.
 
 Violations accumulate (so one audit reports *all* problems) and
 :meth:`TraceChecker.assert_ok` raises :class:`TraceViolation` with every
@@ -62,6 +74,10 @@ class TraceChecker:
         self.renders_seen = 0
         self.handoffs_seen = 0
         self.fallbacks_seen = 0
+        self.fill_requests_seen = 0
+        self.backbone_reservations = 0
+        self.backbone_releases = 0
+        self.live_feeds_seen = 0
         self._checked = False
 
     # ------------------------------------------------------------------
@@ -82,6 +98,13 @@ class TraceChecker:
         # drain.begin, settled by session.handoff / session.handoff_fallback,
         # audited and popped by drain.end
         active_drains: Dict[str, Dict[Any, Optional[str]]] = {}
+        # backbone rid -> (t, link, bandwidth); load re-summed per link
+        live_backbone: Dict[Any, Tuple[float, str, float]] = {}
+        backbone_load: Dict[str, float] = {}
+        # live feed id -> (t, region, point, enters_region)
+        active_feeds: Dict[Any, Tuple[float, Any, Any, bool]] = {}
+        # (region, point) -> feed id currently entering that region
+        region_entries: Dict[Tuple[Any, Any], Any] = {}
 
         for record in self.records:
             name = record["name"]
@@ -241,6 +264,93 @@ class TraceChecker:
                                 f"{sid!r} is not closed (t={t:.3f})"
                             )
 
+            elif name == "edge.fill_request":
+                self.fill_requests_seen += 1
+                path = attrs.get("path") or []
+                if len(set(path)) != len(path):
+                    self._fail(
+                        f"fill of {attrs.get('point')!r} by "
+                        f"{attrs.get('edge')!r} carries a looping path "
+                        f"{'>'.join(str(p) for p in path)} (t={t:.3f})"
+                    )
+                if attrs.get("hops", 0) < 0:
+                    self._fail(
+                        f"fill of {attrs.get('point')!r} by "
+                        f"{attrs.get('edge')!r} has negative hop budget "
+                        f"{attrs.get('hops')} (t={t:.3f})"
+                    )
+
+            elif name == "backbone.reserve":
+                rid = attrs.get("rid")
+                link = attrs.get("link", "")
+                bandwidth = float(attrs.get("bandwidth", 0.0))
+                capacity = float(attrs.get("capacity", 0.0))
+                self.backbone_reservations += 1
+                if rid in live_backbone:
+                    self._fail(
+                        f"backbone reservation {rid!r} reserved twice "
+                        f"(t={t:.3f})"
+                    )
+                else:
+                    live_backbone[rid] = (t, link, bandwidth)
+                load = backbone_load.get(link, 0.0) + bandwidth
+                backbone_load[link] = load
+                if load > capacity + 1e-9:
+                    self._fail(
+                        f"backbone link {link} over-reserved: {load:g} of "
+                        f"{capacity:g} b/s after {rid!r} (t={t:.3f})"
+                    )
+
+            elif name == "backbone.release":
+                rid = attrs.get("rid")
+                self.backbone_releases += 1
+                if rid not in live_backbone:
+                    self._fail(
+                        f"release of unknown/already-released backbone "
+                        f"reservation {rid!r} (t={t:.3f})"
+                    )
+                else:
+                    _, link, bandwidth = live_backbone.pop(rid)
+                    backbone_load[link] = backbone_load.get(link, 0.0) - bandwidth
+
+            elif name == "live.feed":
+                feed = attrs.get("feed")
+                region = attrs.get("region")
+                point = attrs.get("point")
+                enters = bool(attrs.get("enters_region"))
+                self.live_feeds_seen += 1
+                if feed in active_feeds:
+                    self._fail(
+                        f"live feed {feed!r} started twice (t={t:.3f})"
+                    )
+                active_feeds[feed] = (t, region, point, enters)
+                # the invariant is scoped to real regions: a flat tier
+                # (region None) legitimately runs N origin attaches
+                if enters and region is not None:
+                    key = (region, point)
+                    if key in region_entries:
+                        self._fail(
+                            f"second upstream live feed {feed!r} enters "
+                            f"region {region!r} for point {point!r} while "
+                            f"{region_entries[key]!r} is active (t={t:.3f})"
+                        )
+                    else:
+                        region_entries[key] = feed
+
+            elif name == "live.feed_end":
+                feed = attrs.get("feed")
+                entry = active_feeds.pop(feed, None)
+                if entry is None:
+                    self._fail(
+                        f"live.feed_end for unknown/already-ended feed "
+                        f"{feed!r} (t={t:.3f})"
+                    )
+                else:
+                    _, region, point, enters = entry
+                    if enters and region is not None:
+                        if region_entries.get((region, point)) == feed:
+                            del region_entries[(region, point)]
+
             elif name == "playback.seek":
                 # a seek rebases the playhead for every stream of that client
                 client = attrs.get("client", "")
@@ -260,6 +370,20 @@ class TraceChecker:
             self._fail(
                 f"QoS reservation {rid!r} (owner {owner!r}) made at "
                 f"t={made_at:.3f} never released"
+            )
+        for rid, (made_at, link, bandwidth) in sorted(
+            live_backbone.items(), key=str
+        ):
+            self._fail(
+                f"backbone reservation {rid!r} on {link} ({bandwidth:g} "
+                f"b/s) made at t={made_at:.3f} never released"
+            )
+        for feed, (started_at, region, point, _) in sorted(
+            active_feeds.items(), key=str
+        ):
+            self._fail(
+                f"live feed {feed!r} (region {region!r}, point {point!r}) "
+                f"started at t={started_at:.3f} never ended"
             )
         return self.violations
 
@@ -283,6 +407,10 @@ class TraceChecker:
             "renders_seen": self.renders_seen,
             "handoffs_seen": self.handoffs_seen,
             "fallbacks_seen": self.fallbacks_seen,
+            "fill_requests_seen": self.fill_requests_seen,
+            "backbone_reservations": self.backbone_reservations,
+            "backbone_releases": self.backbone_releases,
+            "live_feeds_seen": self.live_feeds_seen,
             "violations": len(self.violations),
         }
 

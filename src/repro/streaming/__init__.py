@@ -1,5 +1,6 @@
 """Streaming: media server, edge-relay tier, sessions, jitter-buffered player."""
 
+from .backbone import BackboneBudget, BudgetError
 from .buffer import JitterBuffer
 from .client import (
     FiredCommand,
@@ -12,17 +13,22 @@ from .client import (
 from .edge import (
     EdgeDirectory,
     EdgeRelay,
+    FillToken,
     PacketRunCache,
     PlacementError,
     build_edge_tier,
+    build_relay_tree,
 )
 from .recovery import NakRequest, RecoveryClient, RecoveryConfig
 from .server import MediaServer, PublishError, PublishingPoint
 from .session import SessionError, SessionState, SessionTable, StreamSession
 
 __all__ = [
+    "BackboneBudget",
+    "BudgetError",
     "EdgeDirectory",
     "EdgeRelay",
+    "FillToken",
     "FiredCommand",
     "JitterBuffer",
     "MediaPlayer",
@@ -43,4 +49,5 @@ __all__ = [
     "SessionTable",
     "StreamSession",
     "build_edge_tier",
+    "build_relay_tree",
 ]

@@ -6,21 +6,41 @@ origin egress. This module puts relays between the origin and the
 viewers, the way Cycon et al.'s distributed e-learning system scales:
 
 * :class:`EdgeRelay` — a :class:`MediaServer` subclass that *fills* its
-  local copy of a publishing point from an origin over one replica
+  local copy of a publishing point from an upstream over one replica
   session, then re-paces to its own clients with the inherited shared
   schedule/pacing-group machinery. All clients behind one edge watching
-  one point share a single origin session (**request coalescing**).
+  one point share a single upstream session (**request coalescing**).
 * :class:`PacketRunCache` — LRU + byte-budget cache of filled packet
   runs, keyed by :meth:`~repro.asf.stream.ASFFile.fingerprint`, so
   repeat viewers, seek/replay, and a restarted edge never touch the
   origin's data path again (hit/miss counters in the process-global
-  ``edge_cache`` bag).
+  ``edge_cache`` bag). It also keeps a bounded per-point *live history*
+  so late joiners of a broadcast get recent packets instead of nothing.
 * :class:`EdgeDirectory` — consistent-hash ring (virtual nodes, seeded
   sha1 so placement is deterministic and independent of
   ``PYTHONHASHSEED``) placing clients on edges, with admission control
-  (capacity) and overflow spill to the next ring node.
-* :func:`build_edge_tier` — topology construction: per-edge backbone
-  links, relays, and a populated directory in one call.
+  (capacity), overflow spill to the next ring node, and — for relay
+  trees — a **holder registry** recording which edges hold which runs,
+  plus the regional-parent map.
+* :class:`FillToken` — the hop-limited path token every tree fill
+  request carries; a relay that finds itself already in the token's
+  path refuses, so A→B→A can never cycle.
+* :func:`build_edge_tier` / :func:`build_relay_tree` — topology
+  construction: the flat one-level tier of PR 5, and the multi-level
+  tree (regional parents absorbing fan-in, sibling fills, shared
+  :class:`~repro.streaming.backbone.BackboneBudget`).
+
+**Fill-source selection** (tree mode): on a cache miss an edge consults
+the directory and fills from, in order, (1) a *sibling* edge in its
+region that already holds (or is currently filling) the run, (2) its
+*regional parent*, which absorbs fan-in — sixty-four cold edges in four
+regions cost the origin four fills, not sixty-four — and (3) the origin
+as the last resort. The origin is always described first (control
+plane, zero media egress) so a stale sibling replica is rejected by
+cache key before any media moves. Only parents may fill *on behalf of*
+another relay; a leaf receiving a tokened fill request serves it from
+local state or refuses, which, with the path token, makes fill cascades
+finite and loop-free.
 
 Relays speak the same control plane as the origin, so
 :class:`~repro.streaming.client.MediaPlayer` /
@@ -33,9 +53,12 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import itertools
 import math
-from collections import OrderedDict
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from collections import OrderedDict, deque
+from typing import (
+    Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple,
+)
 from urllib.parse import urlparse
 
 from ..asf.packets import DataPacket
@@ -43,6 +66,7 @@ from ..asf.stream import ASFFile, ASFLiveStream
 from ..metrics.counters import Counters, get_counters
 from ..net.transport import DatagramChannel, Message
 from ..web.http import HTTPClient, HTTPError, HTTPRequest, HTTPResponse, VirtualNetwork
+from .backbone import BackboneBudget, BudgetError
 from .recovery import NAK_WIRE_SIZE, NakRequest
 from .server import MediaServer, PublishError
 from .session import SessionError, SessionState, StreamSession
@@ -66,7 +90,12 @@ class PacketRunCache:
     :meth:`~repro.asf.stream.ASFFile.packed_packets`. Eviction is LRU
     but never evicts the entry just inserted — a run larger than the
     whole budget still serves its current viewers, it just won't keep
-    neighbours around.
+    neighbours around. ``on_evict`` (if set) observes every eviction so
+    a directory's holder registry can stop advertising the run.
+
+    Beside the run cache sits the **live history**: a bounded deque of
+    recently broadcast packets per live point, evicted by send-time
+    horizon rather than LRU, serving late joiners a catch-up burst.
     """
 
     def __init__(
@@ -82,6 +111,10 @@ class PacketRunCache:
         self._entries: "OrderedDict[str, ASFFile]" = OrderedDict()
         self._sizes: Dict[str, int] = {}
         self.bytes_cached = 0
+        #: observer of evictions (cache key) — set by EdgeRelay when a
+        #: directory with a holder registry is attached
+        self.on_evict: Optional[Callable[[str], None]] = None
+        self._live: Dict[str, Deque[DataPacket]] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -120,6 +153,91 @@ class PacketRunCache:
             self.bytes_cached -= freed
             self.counters.inc("evictions")
             self.counters.inc("bytes_evicted", freed)
+            if self.on_evict is not None:
+                self.on_evict(victim)
+
+    # -- bounded live history -------------------------------------------
+
+    def append_live(
+        self,
+        point: str,
+        packets: Sequence[DataPacket],
+        *,
+        horizon_ms: float,
+        now_ms: float,
+    ) -> None:
+        """Record broadcast packets, dropping everything older than
+        ``horizon_ms`` behind ``now_ms`` — the history is bounded by
+        time, so a day-long lecture holds minutes, not gigabytes."""
+        buf = self._live.get(point)
+        if buf is None:
+            buf = self._live[point] = deque()
+        buf.extend(packets)
+        self.counters.inc("live_history_packets", len(packets))
+        floor = now_ms - horizon_ms
+        while buf and buf[0].send_time_ms < floor:
+            buf.popleft()
+            self.counters.inc("live_history_evicted")
+
+    def live_tail(self, point: str, *, since_ms: float) -> List[DataPacket]:
+        """Recorded broadcast packets at/after ``since_ms``, in order."""
+        buf = self._live.get(point)
+        if not buf:
+            return []
+        return [p for p in buf if p.send_time_ms >= since_ms]
+
+    def drop_live(self, point: str) -> None:
+        self._live.pop(point, None)
+
+
+# ----------------------------------------------------------------------
+# hop-limited fill token
+# ----------------------------------------------------------------------
+
+
+class FillToken:
+    """Loop protection for tree fills.
+
+    ``path`` lists every relay the request chain has traversed (the
+    originator first); a relay that finds its own name in the path
+    refuses the request, so A→B→A can never cycle. ``hops`` bounds the
+    chain length independently of names. The token rides the control
+    plane as two fields — ``fill_path`` (comma-joined, so relay names
+    must not contain commas) and ``fill_hops`` — in describe query
+    strings and ``open`` bodies.
+    """
+
+    __slots__ = ("path", "hops")
+
+    def __init__(self, path: Sequence[str], hops: int) -> None:
+        self.path: Tuple[str, ...] = tuple(path)
+        self.hops = int(hops)
+
+    def descend(self, name: str) -> "FillToken":
+        """The token this relay forwards upstream: one hop spent, its
+        own name appended to the path."""
+        return FillToken(self.path + (name,), self.hops - 1)
+
+    def wire(self) -> Dict[str, Any]:
+        return {"fill_path": ",".join(self.path), "fill_hops": self.hops}
+
+    def query(self) -> str:
+        return f"fill_path={','.join(self.path)}&fill_hops={self.hops}"
+
+    @classmethod
+    def from_wire(cls, fields: Dict[str, Any]) -> Optional["FillToken"]:
+        """Parse from a describe query or an ``open`` body; ``None``
+        when the request carries no token (an ordinary origin fill)."""
+        raw = fields.get("fill_path")
+        if not raw:
+            return None
+        path = tuple(part for part in str(raw).split(",") if part)
+        if not path:
+            return None
+        return cls(path, int(fields.get("fill_hops", 0)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FillToken(path={'>'.join(self.path)}, hops={self.hops})"
 
 
 # ----------------------------------------------------------------------
@@ -128,7 +246,10 @@ class PacketRunCache:
 
 
 class _EdgeEntry:
-    __slots__ = ("name", "url", "relay", "capacity", "down", "manual_load")
+    __slots__ = (
+        "name", "url", "relay", "capacity", "down", "manual_load",
+        "region", "placeable",
+    )
 
     def __init__(
         self,
@@ -136,6 +257,8 @@ class _EdgeEntry:
         url: Optional[str],
         relay: Optional["EdgeRelay"],
         capacity: Optional[int],
+        region: Optional[str] = None,
+        placeable: bool = True,
     ) -> None:
         self.name = name
         self.url = url
@@ -143,6 +266,8 @@ class _EdgeEntry:
         self.capacity = capacity
         self.down = False
         self.manual_load = 0
+        self.region = region
+        self.placeable = placeable
 
     def load(self) -> int:
         if self.relay is not None:
@@ -169,6 +294,13 @@ class EdgeDirectory:
     placement under a fixed seed, and bounded reshuffle when an edge
     joins or leaves (only keys whose arc changed move).
 
+    For relay trees the directory additionally tracks **regions** (an
+    edge belongs to at most one; the per-region *parent* relay is
+    registered via :meth:`add_parent` and never placed on the ring) and
+    the **holder registry** — which edges hold (or are currently
+    filling) which publishing points — consulted by
+    :meth:`fill_sources` when a sibling misses.
+
     ``origin_url`` is the optional last resort: when every edge refuses,
     :meth:`url_for` falls back to serving straight from the origin
     instead of raising :class:`PlacementError`.
@@ -188,6 +320,8 @@ class EdgeDirectory:
         self.origin_url = origin_url.rstrip("/") if origin_url else None
         self._edges: Dict[str, _EdgeEntry] = {}
         self._ring: List[Tuple[int, str]] = []  # (hash, edge name), sorted
+        self._parents: Dict[str, str] = {}  # region -> parent entry name
+        self._holders: Dict[str, Set[str]] = {}  # point -> edge names
 
     # -- membership -----------------------------------------------------
 
@@ -198,6 +332,7 @@ class EdgeDirectory:
         relay: Optional["EdgeRelay"] = None,
         url: Optional[str] = None,
         capacity: Optional[int] = None,
+        region: Optional[str] = None,
     ) -> None:
         if name in self._edges:
             raise PlacementError(f"edge {name!r} already registered")
@@ -205,16 +340,52 @@ class EdgeDirectory:
             url = f"http://{relay.host}:{relay.port}"
         if url is None:
             raise PlacementError(f"edge {name!r} needs a relay or a url")
-        self._edges[name] = _EdgeEntry(name, url.rstrip("/"), relay, capacity)
+        self._edges[name] = _EdgeEntry(
+            name, url.rstrip("/"), relay, capacity, region=region
+        )
         for v in range(self.vnodes):
             self._ring.append((self._hash(f"{name}#{v}"), name))
         self._ring.sort()
+
+    def add_parent(
+        self,
+        region: str,
+        *,
+        relay: Optional["EdgeRelay"] = None,
+        url: Optional[str] = None,
+        name: Optional[str] = None,
+        capacity: Optional[int] = None,
+    ) -> str:
+        """Register ``region``'s parent relay. Parents are directory
+        citizens — watched by heartbeats, targeted by fault plans, valid
+        fill sources — but never placed on the ring: clients land on
+        leaves, parents absorb fan-in."""
+        name = name or f"parent-{region}"
+        if name in self._edges:
+            raise PlacementError(f"edge {name!r} already registered")
+        if region in self._parents:
+            raise PlacementError(f"region {region!r} already has a parent")
+        if relay is not None and url is None:
+            url = f"http://{relay.host}:{relay.port}"
+        if url is None:
+            raise PlacementError(f"parent {name!r} needs a relay or a url")
+        self._edges[name] = _EdgeEntry(
+            name, url.rstrip("/"), relay, capacity,
+            region=region, placeable=False,
+        )
+        self._parents[region] = name
+        return name
 
     def remove_edge(self, name: str) -> None:
         if name not in self._edges:
             raise PlacementError(f"no edge {name!r}")
         del self._edges[name]
         self._ring = [(h, n) for h, n in self._ring if n != name]
+        for point in list(self._holders):
+            self.forget_fill(name, point)
+        for region, parent in list(self._parents.items()):
+            if parent == name:
+                del self._parents[region]
 
     def mark_down(self, name: str) -> None:
         self._entry(name).down = True
@@ -227,11 +398,16 @@ class EdgeDirectory:
         self._entry(name).manual_load = load
 
     def relays(self) -> Dict[str, Optional["EdgeRelay"]]:
-        """``{edge name: relay}`` for fault-injector registration."""
+        """``{name: relay}`` for every registered relay — leaves *and*
+        regional parents — for fault-injector and heartbeat registration."""
         return {name: entry.relay for name, entry in self._edges.items()}
 
     def edges(self) -> List[str]:
-        return sorted(self._edges)
+        """Placeable (leaf) edges only — what admission and the
+        autoscaler's per-edge load signals iterate."""
+        return sorted(
+            name for name, entry in self._edges.items() if entry.placeable
+        )
 
     def edge_url(self, name: str) -> str:
         """Base control/playback URL of one edge."""
@@ -251,11 +427,75 @@ class EdgeDirectory:
         crashed, not draining, under capacity)."""
         return self._entry(name).available()
 
+    def region_of(self, name: str) -> Optional[str]:
+        return self._entry(name).region
+
+    def parent_name(self, region: str) -> Optional[str]:
+        return self._parents.get(region)
+
+    def parent_url(self, region: str) -> Optional[str]:
+        name = self._parents.get(region)
+        return self._entry(name).url if name is not None else None
+
     def _entry(self, name: str) -> _EdgeEntry:
         try:
             return self._edges[name]
         except KeyError:
             raise PlacementError(f"no edge {name!r}") from None
+
+    # -- holder registry (who holds which run) --------------------------
+
+    def record_fill(self, name: str, point: str, *, pending: bool = False) -> None:
+        """Advertise that ``name`` holds ``point``. Fills register at
+        *begin* (``pending=True``) as well as at completion, so two
+        siblings missing concurrently coalesce: the second finds the
+        first's in-flight fill and rides it instead of starting its own."""
+        if name in self._edges:
+            self._holders.setdefault(point, set()).add(name)
+
+    def forget_fill(self, name: str, point: str) -> None:
+        holders = self._holders.get(point)
+        if holders is not None:
+            holders.discard(name)
+            if not holders:
+                del self._holders[point]
+
+    def holders(self, point: str) -> List[str]:
+        return sorted(self._holders.get(point, ()))
+
+    def can_serve_fill(self, name: str) -> bool:
+        """Whether ``name`` can answer a *fill* right now. Deliberately
+        looser than :meth:`is_available`: a **draining** edge still
+        serves fills — that is exactly how its successor warms up
+        without a cold origin re-fill — and viewer capacity does not
+        gate replica sessions."""
+        entry = self._edges.get(name)
+        if entry is None or entry.down:
+            return False
+        if entry.relay is not None and entry.relay.crashed:
+            return False
+        return True
+
+    def fill_sources(self, name: str, point: str) -> List[str]:
+        """Sibling edges in ``name``'s region that hold (or are filling)
+        ``point`` and can serve, in deterministic (sorted) order."""
+        try:
+            region = self.region_of(name)
+        except PlacementError:
+            region = None
+        out: List[str] = []
+        for holder in self.holders(point):
+            if holder == name:
+                continue
+            entry = self._edges.get(holder)
+            if entry is None or not entry.placeable:
+                continue
+            if entry.region != region:
+                continue
+            if not self.can_serve_fill(holder):
+                continue
+            out.append(holder)
+        return out
 
     # -- placement ------------------------------------------------------
 
@@ -264,7 +504,7 @@ class EdgeDirectory:
         return int(digest[:16], 16)
 
     def spill_order(self, key: str) -> List[str]:
-        """Every edge in ring-walk order from ``key``'s hash.
+        """Every placeable edge in ring-walk order from ``key``'s hash.
 
         The first entry is the primary placement; the rest is the
         deterministic overflow order when primaries refuse admission.
@@ -279,6 +519,7 @@ class EdgeDirectory:
                 lo = mid + 1
             else:
                 hi = mid
+        ring_names = {n for _, n in self._ring}
         order: List[str] = []
         seen: Set[str] = set()
         for i in range(len(self._ring)):
@@ -286,7 +527,7 @@ class EdgeDirectory:
             if name not in seen:
                 seen.add(name)
                 order.append(name)
-            if len(seen) == len(self._edges):
+            if len(seen) == len(ring_names):
                 break
         return order
 
@@ -322,12 +563,39 @@ class EdgeDirectory:
 # ----------------------------------------------------------------------
 
 
+class _UpstreamRef:
+    """One upstream replica session — at the origin, the regional
+    parent, or a sibling edge. Carries everything needed to NAK, close,
+    and settle it: the base URL, the NAK datagram channel (lazy), and
+    the backbone reservation it holds (if any)."""
+
+    __slots__ = ("url", "host", "session_id", "sink", "channel", "budget_rid")
+
+    def __init__(
+        self,
+        url: str,
+        host: Optional[str],
+        session_id: int,
+        sink,
+        budget_rid: Optional[str] = None,
+    ) -> None:
+        self.url = url
+        self.host = host
+        self.session_id = session_id
+        self.sink = sink
+        self.channel: Optional[DatagramChannel] = None
+        self.budget_rid = budget_rid
+
+
 class _FillState:
-    """One in-flight fill of a point from the origin."""
+    """One in-flight fill of a point, possibly spanning several upstream
+    sources. The *driver* (the frame that started the fill) owns source
+    selection: ``attempt_failed`` aborts only the current attempt, while
+    ``exhausted`` tells nested riders that every source was tried."""
 
     __slots__ = (
         "point", "header", "cache_key", "sequences",
-        "got", "session_id", "done", "failed",
+        "got", "session_id", "done", "exhausted", "attempt_failed",
     )
 
     def __init__(
@@ -340,7 +608,8 @@ class _FillState:
         self.got: Dict[int, DataPacket] = {}
         self.session_id: Optional[int] = None
         self.done = False
-        self.failed = False
+        self.exhausted = False
+        self.attempt_failed = False
 
     def missing(self) -> List[int]:
         return [s for s in self.sequences if s not in self.got]
@@ -354,21 +623,26 @@ class EdgeRelay(MediaServer):
     and adds the upstream side:
 
     * the first client opening a point triggers a **fill**: one replica
-      session against the origin bursts the whole packet run across the
-      backbone (loss repaired by upstream NAK rounds), the assembled
-      file is fingerprint-verified, cached, and published locally;
+      session against an upstream source bursts the whole packet run
+      across the backbone (loss repaired by upstream NAK rounds), the
+      assembled file is fingerprint-verified, cached, and published
+      locally. With a directory attached the source is chosen sibling →
+      regional parent → origin; without one (the flat PR 5 tier) fills
+      go straight to the origin;
     * later clients of the same point coalesce onto the already-local
       copy — zero extra origin traffic; a refill after crash/idle is a
       cache hit and costs the origin only a control-plane open;
     * when the *last* local client leaves, the local point is retired
-      and the upstream session closed, so origin session/QoS lifetime
+      and the upstream session closed, so upstream session/QoS lifetime
       matches local demand exactly (two-hop teardown);
     * ``join_quantum`` > 0 defers each ``play()`` to the next quantum
       boundary so near-simultaneous viewers land in one pacing group.
 
-    Broadcast points pass through: the upstream feed is republished as a
-    local live stream, and NAKs for packets the relay itself never
-    received are forwarded upstream.
+    Broadcast points pass through: the upstream feed — pulled from the
+    regional parent when one is configured, so it enters each region
+    exactly once — is republished as a local live stream, late joiners
+    get bounded history from the cache, and NAKs for packets the relay
+    itself never received are forwarded upstream.
     """
 
     def __init__(
@@ -388,10 +662,18 @@ class EdgeRelay(MediaServer):
         fill_timeout: float = 30.0,
         fill_nak_interval: float = 0.25,
         fill_nak_rounds: int = 8,
+        region: Optional[str] = None,
+        parent_url: Optional[str] = None,
+        is_parent: bool = False,
+        backbone: Optional[BackboneBudget] = None,
+        fill_hop_limit: int = 3,
+        live_history_seconds: float = 0.0,
         tracer=None,
     ) -> None:
         if join_quantum < 0:
             raise PublishError("join_quantum must be >= 0")
+        if fill_hop_limit < 1:
+            raise PublishError("fill_hop_limit must be >= 1")
         self.name = name or host
         super().__init__(
             network, host,
@@ -408,78 +690,133 @@ class EdgeRelay(MediaServer):
         self.fill_timeout = fill_timeout
         self.fill_nak_interval = fill_nak_interval
         self.fill_nak_rounds = fill_nak_rounds
+        self.region = region
+        self.parent_url = parent_url.rstrip("/") if parent_url else None
+        self.is_parent = is_parent
+        self.backbone = backbone
+        self.fill_hop_limit = fill_hop_limit
+        self.live_history_seconds = live_history_seconds
+        #: sibling-aware fill sourcing; set via :meth:`attach_directory`
+        self.directory: Optional[EdgeDirectory] = None
         self.http_client = HTTPClient(network, host)
-        #: set by :meth:`drain`: the relay stops admitting (directory
-        #: entries report unavailable) while live sessions hand off
+        #: set by :meth:`drain`: the relay stops admitting viewers
+        #: (directory entries report unavailable) while live sessions
+        #: hand off — but *replica* opens stay admitted, so successors
+        #: can warm up from this edge instead of re-filling from origin
         self.draining = False
-        #: point -> origin replica session id (exactly one per local point)
-        self._upstream: Dict[str, int] = {}
+        #: point -> upstream replica session (exactly one per local point)
+        self._upstream: Dict[str, _UpstreamRef] = {}
         self._fills: Dict[str, _FillState] = {}
+        #: broadcast points whose upstream attach is in flight — a
+        #: concurrent open waits on the attach instead of duplicating it
+        self._pending_broadcasts: Set[str] = set()
         #: point -> cache key of the run last filled for it — the disk
         #: index beside the cache: it lets a viewer arriving while the
         #: origin is *unreachable* (describe impossible) still be served
         #: the cached run instead of refused. Like the cache, it survives
         #: crash/restart — it models on-disk metadata, not process state.
         self._cache_keys: Dict[str, str] = {}
-        #: upstream session ids whose close never reached the origin (edge
-        #: crash, origin outage) — retried until one lands, so the origin's
-        #: session table and QoS channels don't leak across edge faults
-        self._orphan_upstream: List[int] = []
+        #: (upstream url, session id) pairs whose close never reached the
+        #: upstream (edge crash, upstream outage) — retried until one
+        #: lands, so no upstream's session table or QoS channels leak
+        #: across edge faults
+        self._orphan_upstream: List[Tuple[str, int]] = []
         self._releasing: Set[str] = set()
-        self._origin_sink = None  # origin's NAK receiver (from "open")
-        self._origin_channel: Optional[DatagramChannel] = None
+        #: point -> active live feed id (for live.feed/live.feed_end)
+        self._live_feeds: Dict[str, str] = {}
+        self._feed_ids = itertools.count(1)
         #: sequences super()._repair_entry could not serve locally during
         #: the current _handle_nak call — forwarded upstream afterwards
         self._nak_forward: Optional[List[int]] = None
+
+    def attach_directory(self, directory: EdgeDirectory) -> None:
+        """Enable tree fills: consult ``directory`` for sibling/parent
+        sources and advertise the runs this relay holds (including
+        evictions, via the cache's ``on_evict`` hook)."""
+        self.directory = directory
+        self.cache.on_evict = self._on_cache_evict
+        for point, key in self._cache_keys.items():
+            if key in self.cache:
+                directory.record_fill(self.name, point)
+
+    def _on_cache_evict(self, key: str) -> None:
+        if self.directory is None:
+            return
+        for point, cache_key in self._cache_keys.items():
+            if cache_key == key:
+                self.directory.forget_fill(self.name, point)
 
     # ------------------------------------------------------------------
     # upstream control plane
     # ------------------------------------------------------------------
 
-    def _control_upstream(self, action: str, **fields) -> Any:
+    def _control_at(self, url: str, action: str, **fields) -> Any:
         response = self.http_client.post(
-            f"{self.origin_url}/control/{action}", body=fields
+            f"{url}/control/{action}", body=fields
         )
         if not response.ok:
             raise PublishError(
-                f"origin {action} failed: {response.status} {response.body}"
+                f"upstream {action} at {url} failed: "
+                f"{response.status} {response.body}"
             )
         return response.body
 
-    def _open_upstream(
-        self, name: str, deliver: Callable[[DataPacket], None]
-    ) -> int:
-        body = self._control_upstream(
-            "open", point=name, deliver=deliver, replica=True
-        )
-        self._origin_sink = body.get("recovery_sink")
-        return body["session_id"]
+    def _control_upstream(self, action: str, **fields) -> Any:
+        return self._control_at(self.origin_url, action, **fields)
 
-    def _upstream_channel(self) -> Optional[DatagramChannel]:
-        if self._origin_sink is None or self.origin_host is None:
-            return None
-        if self._origin_channel is None:
-            link = self.network.link(self.host, self.origin_host)
-            self._origin_channel = DatagramChannel(link, self._origin_sink)
-        else:
-            self._origin_channel.on_receive = self._origin_sink
-        return self._origin_channel
+    def _open_upstream(
+        self,
+        url: str,
+        name: str,
+        deliver: Callable[[DataPacket], None],
+        *,
+        token: Optional[FillToken] = None,
+        budget_rid: Optional[str] = None,
+    ) -> _UpstreamRef:
+        fields: Dict[str, Any] = {
+            "point": name, "deliver": deliver, "replica": True,
+        }
+        if token is not None:
+            fields.update(token.wire())
+        body = self._control_at(url, "open", **fields)
+        return _UpstreamRef(
+            url, urlparse(url).hostname, body["session_id"],
+            body.get("recovery_sink"), budget_rid,
+        )
 
     def _nak_upstream(
-        self, session_id: Optional[int], sequences: Sequence[int]
+        self, ref: Optional[_UpstreamRef], sequences: Sequence[int]
     ) -> None:
-        channel = self._upstream_channel()
-        if channel is None or session_id is None or not sequences:
+        if ref is None or ref.sink is None or ref.host is None or not sequences:
             return
+        if ref.channel is None:
+            link = self.network.link(self.host, ref.host)
+            ref.channel = DatagramChannel(link, ref.sink)
         for i in range(0, len(sequences), 64):
-            channel.send(Message(
-                NakRequest(session_id, tuple(sequences[i:i + 64])),
+            ref.channel.send(Message(
+                NakRequest(ref.session_id, tuple(sequences[i:i + 64])),
                 NAK_WIRE_SIZE,
             ))
         self.recovery_stats.inc("upstream_naks")
 
+    def _close_ref(self, ref: _UpstreamRef) -> None:
+        try:
+            # a non-OK answer means the upstream already dropped the
+            # session (crash wiped it) — nothing left to close either way
+            self.http_client.post(
+                f"{ref.url}/control/close",
+                body={"session_id": ref.session_id},
+            )
+        except HTTPError:
+            self._orphan_upstream.append((ref.url, ref.session_id))
+
+    def _release_budget(self, ref: _UpstreamRef) -> None:
+        if ref.budget_rid is not None and self.backbone is not None:
+            self.backbone.release(ref.budget_rid)
+            ref.budget_rid = None
+
     # ------------------------------------------------------------------
-    # fill: replicate a point from the origin
+    # fill: replicate a point from sibling / parent / origin
     # ------------------------------------------------------------------
 
     def prefetch(self, name: str) -> None:
@@ -489,9 +826,9 @@ class EdgeRelay(MediaServer):
     def _serve_stale(self, name: str) -> bool:
         """Publish ``name`` from the cached run, if the disk holds one.
 
-        The origin is unreachable, so no upstream replica session is
-        registered — the origin learns about this replica (if it ever
-        comes back) through the ordinary next fill or shutdown path.
+        No upstream is reachable, so no replica session is registered —
+        the upstream learns about this replica (if it ever comes back)
+        through the ordinary next fill or shutdown path.
         """
         cache_key = self._cache_keys.get(name)
         cached = self.cache.lookup(cache_key) if cache_key is not None else None
@@ -499,43 +836,121 @@ class EdgeRelay(MediaServer):
             return False
         self.publish(name, cached)
         self.cache.counters.inc("stale_serves")
+        if self.directory is not None:
+            self.directory.record_fill(self.name, name)
         return True
 
-    def _ensure_local(self, name: str) -> None:
-        """Make ``name`` a local publishing point (fill if needed)."""
+    def _ensure_local(
+        self, name: str, token: Optional[FillToken] = None
+    ) -> None:
+        """Make ``name`` a local publishing point (fill if needed).
+
+        ``token`` is the fill token a *tree* request carried; ``None``
+        for viewer-triggered fills. A relay already in the token's path
+        refuses — that, plus the hop limit, is the loop protection.
+        """
         if self.crashed:
             raise SessionError("server is down")
         self._retry_orphans()
+        if token is not None and self.name in token.path:
+            self.cache.counters.inc("fill_refused_loop")
+            if self.tracer is not None:
+                self.tracer.event(
+                    "edge.fill_refused",
+                    edge=self.name, point=name,
+                    reason="loop", path=list(token.path),
+                )
+            raise PublishError(
+                f"relay {self.name}: fill loop refused "
+                f"(path {'>'.join(token.path)})"
+            )
         if name in self.points:
             return
         fill = self._fills.get(name)
         if fill is not None:
-            # a concurrent open of the same point: ride the fill already
-            # in flight instead of starting a second origin session
-            self._await_fill(fill)
-            if fill.failed or name not in self.points:
-                raise PublishError(f"edge fill of {name!r} failed")
+            # a concurrent request for the same point: ride the fill
+            # already in flight instead of starting a second one
+            self._ride_fill(fill, name)
             return
-        self._begin_fill(name)
+        if name in self._pending_broadcasts:
+            self._ride_broadcast_attach(name)
+            return
+        self._begin_fill(name, token)
 
-    def _begin_fill(self, name: str) -> None:
+    def _ride_broadcast_attach(self, name: str) -> None:
+        """Wait (re-entrant stepping) on another frame's in-flight
+        broadcast attach instead of opening a duplicate upstream feed."""
+        simulator = self.simulator
+        deadline = simulator.now + self.fill_timeout
+        while (
+            name in self._pending_broadcasts
+            and name not in self.points
+            and not self.crashed
+            and simulator.now < deadline
+        ):
+            if simulator.peek_time() is None:
+                break
+            simulator.step()
+        if name not in self.points:
+            raise PublishError(f"broadcast attach of {name!r} failed")
+
+    def _describe_source(
+        self, url: str, name: str, token: Optional[FillToken]
+    ) -> Optional[Dict[str, Any]]:
+        query = "replica=1" if token is None else f"replica=1&{token.query()}"
         try:
-            response = self.http_client.get(
-                f"{self.origin_url}/lod/{name}?replica=1"
-            )
+            response = self.http_client.get(f"{url}/lod/{name}?{query}")
         except HTTPError:
-            response = None
-        if response is None or not response.ok:
-            # the origin cannot even be described — but if a previous
+            return None
+        if not response.ok:
+            return None
+        return response.body
+
+    def _data_sources(
+        self, name: str, token: FillToken
+    ) -> List[Tuple[str, str]]:
+        """Ordered fill plan: siblings holding the run, then the
+        regional parent (which absorbs fan-in), then the origin."""
+        sources: List[Tuple[str, str]] = []
+        if self.directory is not None:
+            for peer in self.directory.fill_sources(self.name, name):
+                if peer in token.path:
+                    continue  # asking it back would only bounce (loop)
+                url = self.directory.edge_url(peer)
+                if url != self.origin_url:
+                    sources.append(("sibling", url))
+        if self.parent_url and not self.is_parent:
+            sources.append(("parent", self.parent_url))
+        sources.append(("origin", self.origin_url))
+        return sources
+
+    def _begin_fill(self, name: str, token: Optional[FillToken]) -> None:
+        out_token = (
+            token.descend(self.name) if token is not None
+            else FillToken((self.name,), self.fill_hop_limit)
+        )
+        # always describe the origin first: the authoritative manifest
+        # (cache key, sequence list) is what gates stale replicas out of
+        # the fill plan, and a describe is control plane — zero media
+        authority = self._describe_source(self.origin_url, name, None)
+        source_plan: Optional[List[Tuple[str, str]]] = None
+        if (
+            authority is None and token is None
+            and self.parent_url and not self.is_parent
+        ):
+            # the origin is unreachable *from here* — the regional
+            # parent may still reach it, and describing the parent both
+            # answers and warms it; its manifest becomes the authority
+            authority = self._describe_source(self.parent_url, name, out_token)
+            if authority is not None:
+                source_plan = [("parent", self.parent_url)]
+        if authority is None:
+            # nothing upstream can even be described — but if a previous
             # fill left the run on disk, serve stale rather than refuse
             if self._serve_stale(name):
                 return
-            detail = (
-                "origin unreachable" if response is None
-                else f"{response.status} {response.body}"
-            )
             raise PublishError(
-                f"origin describe of {name!r} failed: {detail}"
+                f"origin describe of {name!r} failed: unreachable or refused"
             )
         # the describe round-trip stepped the simulator re-entrantly: a
         # concurrent open may have published the point (or registered a
@@ -544,16 +959,20 @@ class EdgeRelay(MediaServer):
             return
         racing = self._fills.get(name)
         if racing is not None:
-            self._await_fill(racing)
-            if racing.failed or name not in self.points:
-                raise PublishError(f"edge fill of {name!r} failed")
+            self._ride_fill(racing, name)
             return
-        body = response.body
-        header = body["header"]
-        if body.get("broadcast"):
-            self._attach_broadcast(name, header)
+        header = authority["header"]
+        if authority.get("broadcast"):
+            if name in self._pending_broadcasts:
+                self._ride_broadcast_attach(name)
+                return
+            self._pending_broadcasts.add(name)
+            try:
+                self._attach_broadcast(name, header, token)
+            finally:
+                self._pending_broadcasts.discard(name)
             return
-        cache_key = body["cache_key"]
+        cache_key = authority["cache_key"]
         self._cache_keys[name] = cache_key
         cached = self.cache.lookup(cache_key)
         if cached is not None:
@@ -564,69 +983,176 @@ class EdgeRelay(MediaServer):
             # opens landing inside that round-trip see the point and
             # bail at _ensure_local instead of double-publishing.
             self.publish(name, cached)
+            if self.directory is not None:
+                self.directory.record_fill(self.name, name)
             try:
-                sid = self._open_upstream(name, self._drop_packet)
+                ref = self._open_upstream(
+                    self.origin_url, name, self._drop_packet
+                )
             except (HTTPError, PublishError):
                 # origin unreachable/down but the content is local: serve
                 # stale rather than refusing viewers
                 self.cache.counters.inc("stale_serves")
             else:
                 if name in self.points and name not in self._upstream:
-                    self._upstream[name] = sid
+                    self._upstream[name] = ref
                 else:
                     # the point was released while we were registering:
-                    # settle the now-pointless origin session right away
-                    try:
-                        self.http_client.post(
-                            f"{self.origin_url}/control/close",
-                            body={"session_id": sid},
-                        )
-                    except HTTPError:
-                        self._orphan_upstream.append(sid)
+                    # settle the now-pointless upstream session right away
+                    self._close_ref(ref)
             return
-        fill = _FillState(name, header, cache_key, tuple(body["sequences"]))
+        if token is not None:
+            # a fill *on behalf of* another relay: only regional parents
+            # absorb those. A leaf serves tokened requests from local
+            # state (checked above) or refuses — cascades stay finite.
+            if not self.is_parent:
+                self.cache.counters.inc("fill_refused_cascade")
+                raise PublishError(
+                    f"relay {self.name}: fill of {name!r} on behalf of "
+                    f"{token.path[0]!r} refused (not a regional parent)"
+                )
+            if token.hops <= 0:
+                self.cache.counters.inc("fill_refused_hops")
+                raise PublishError(
+                    f"relay {self.name}: fill of {name!r} refused — hop "
+                    f"limit exhausted (path {'>'.join(token.path)})"
+                )
+        bitrate = max(float(authority.get("bitrate", 0.0)), 1.0)
+        fill = _FillState(name, header, cache_key, tuple(authority["sequences"]))
         self._fills[name] = fill
+        if self.directory is not None:
+            # advertise immediately: a sibling missing concurrently finds
+            # this in-flight fill and rides it instead of duplicating it
+            self.directory.record_fill(self.name, name, pending=True)
         try:
-            fill.session_id = self._open_upstream(
-                name, functools.partial(self._on_fill_packet, fill)
+            plan = source_plan if source_plan is not None else \
+                self._data_sources(name, out_token)
+            for kind, url in plan:
+                if self.crashed or fill.exhausted:
+                    break
+                if self._fill_from(fill, kind, url, bitrate, out_token):
+                    if self.directory is not None:
+                        self.directory.record_fill(self.name, name)
+                    return
+            fill.exhausted = True
+            raise PublishError(
+                f"edge fill of {name!r} failed: no upstream source delivered"
             )
-            self._upstream[name] = fill.session_id
-            # whole-file fast start: burst the entire run across the
-            # backbone instead of pacing it out in real time
-            self._control_upstream(
-                "play",
-                session_id=fill.session_id,
-                burst_factor=self.fill_burst,
-                burst_seconds=(
-                    header.file_properties.duration_ms / 1000.0 + 1.0
-                ),
-            )
-            self._await_fill(fill)
         finally:
             self._fills.pop(name, None)
-        if fill.failed or name not in self.points:
-            sid = self._upstream.pop(name, None)
-            if sid is not None:
-                try:
-                    self.http_client.post(
-                        f"{self.origin_url}/control/close",
-                        body={"session_id": sid},
+            if not fill.done and self.directory is not None:
+                self.directory.forget_fill(self.name, name)
+
+    def _fill_from(
+        self,
+        fill: _FillState,
+        kind: str,
+        url: str,
+        bitrate: float,
+        token: FillToken,
+    ) -> bool:
+        """Attempt one upstream source; True when the fill landed."""
+        name = fill.point
+        upstream_host = urlparse(url).hostname
+        if kind != "origin":
+            # verify the source against the origin's authoritative cache
+            # key before any media moves: a sibling left holding an old
+            # version of a republished run is rejected up front (the
+            # assembled-bytes fingerprint gate stays as the second line)
+            check = self._describe_source(url, name, token)
+            if check is None:
+                self.cache.counters.inc("fill_source_unreachable")
+                return False
+            if check.get("cache_key") != fill.cache_key:
+                self.cache.counters.inc("stale_source_rejected")
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "edge.fill_refused",
+                        edge=self.name, point=name, source=kind,
+                        upstream=upstream_host, reason="stale",
                     )
-                except HTTPError:
-                    self._orphan_upstream.append(sid)
-            raise PublishError(f"edge fill of {name!r} failed")
+                return False
+            if fill.done or name in self.points:
+                return name in self.points  # landed during the describe
+        rid: Optional[str] = None
+        if self.backbone is not None:
+            try:
+                rid = self.backbone.reserve(
+                    (self.host, upstream_host or url), bitrate,
+                    owner=f"{self.name}:{name}",
+                )
+            except BudgetError:
+                self.cache.counters.inc("fill_budget_refused")
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "edge.fill_refused",
+                        edge=self.name, point=name, source=kind,
+                        upstream=upstream_host, reason="budget",
+                    )
+                return False
+        if self.tracer is not None:
+            self.tracer.event(
+                "edge.fill_request",
+                edge=self.name, point=name, source=kind,
+                upstream=upstream_host, path=list(token.path),
+                hops=token.hops,
+            )
+        fill.attempt_failed = False
+        try:
+            ref = self._open_upstream(
+                url, name, functools.partial(self._on_fill_packet, fill),
+                token=token, budget_rid=rid,
+            )
+        except (HTTPError, PublishError):
+            if rid is not None and self.backbone is not None:
+                self.backbone.release(rid)
+            self.cache.counters.inc("fill_source_refused")
+            return False
+        fill.session_id = ref.session_id
+        self._upstream[name] = ref
+        try:
+            # whole-file fast start: burst the entire run across the
+            # backbone instead of pacing it out in real time
+            self._control_at(
+                url, "play",
+                session_id=ref.session_id,
+                burst_factor=self.fill_burst,
+                burst_seconds=(
+                    fill.header.file_properties.duration_ms / 1000.0 + 1.0
+                ),
+            )
+            self._await_fill(fill, ref)
+        except (HTTPError, PublishError):
+            fill.attempt_failed = True
+        if fill.done and name in self.points:
+            # the burst is over: give the link its bandwidth back — the
+            # replica session stays open but is control plane only
+            self._release_budget(ref)
+            self.cache.counters.inc(f"{kind}_fills")
+            return True
+        # this source is dead, stale, or incomplete: tear it down and
+        # let the caller try the next one. After a local crash the close
+        # cannot be sent from here — crash() already orphaned the ref
+        # for the heartbeat monitor (or a restart) to settle.
+        if self._upstream.get(name) is ref:
+            del self._upstream[name]
+        self._release_budget(ref)
+        if not self.crashed:
+            self._close_ref(ref)
+        fill.session_id = None
+        return False
 
     @staticmethod
     def _drop_packet(_packet: DataPacket) -> None:
         """Deliver sink of a register-only (cache hit) replica session."""
 
     def _on_fill_packet(self, fill: _FillState, packet: DataPacket) -> None:
-        if fill.done or fill.failed:
+        if fill.done or fill.exhausted or fill.attempt_failed:
             return
         fill.got[packet.sequence] = packet
         if len(fill.got) == len(fill.sequences):
             # completion must happen *here*, in the deliver callback: a
-            # nested waiter's _await_fill (re-entrant simulator stepping)
+            # nested waiter's _ride_fill (re-entrant simulator stepping)
             # can only proceed once the point is actually published
             self._complete_fill(fill)
 
@@ -636,7 +1162,7 @@ class EdgeRelay(MediaServer):
             packets=[fill.got[s] for s in fill.sequences],
         )
         if asf.fingerprint() != fill.cache_key:
-            fill.failed = True
+            fill.attempt_failed = True
             self.cache.counters.inc("fill_integrity_failures")
             return
         self.cache.store(fill.cache_key, asf)
@@ -652,52 +1178,195 @@ class EdgeRelay(MediaServer):
                 packets=len(fill.sequences),
             )
 
-    def _await_fill(self, fill: _FillState) -> None:
-        """Drive the simulator until the fill completes or times out.
+    def _await_fill(self, fill: _FillState, ref: _UpstreamRef) -> None:
+        """Drive the simulator until the current attempt completes or
+        gives up (driver side).
 
         Re-entrant stepping, the same pattern HTTPClient.fetch uses. Lost
         fill packets are recovered by periodic upstream NAK rounds — the
-        origin repairs from its shared packet cache even after the burst
-        finished (FINISHED sessions still answer NAKs).
+        upstream repairs from its shared packet cache even after the
+        burst finished (FINISHED sessions still answer NAKs). A timeout
+        or a dry event queue fails only *this attempt*; the caller moves
+        to the next source in the plan.
         """
         simulator = self.simulator
         deadline = simulator.now + self.fill_timeout
         next_nak = simulator.now + self.fill_nak_interval
         rounds = 0
-        while not fill.done and not fill.failed:
+        while not fill.done and not fill.attempt_failed:
             if self.crashed or simulator.now >= deadline:
-                fill.failed = True
+                fill.attempt_failed = True
                 break
             nxt = simulator.peek_time()
             if nxt is None or nxt > next_nak or simulator.now >= next_nak:
                 missing = fill.missing()
                 if missing and rounds < self.fill_nak_rounds:
-                    self._nak_upstream(fill.session_id, missing)
+                    self._nak_upstream(ref, missing)
                     rounds += 1
                     next_nak = simulator.now + self.fill_nak_interval
                     continue  # the NAK just scheduled wire events
                 if nxt is None or nxt > deadline:
-                    fill.failed = True
+                    fill.attempt_failed = True
                     break
                 next_nak = max(next_nak, simulator.now) + self.fill_nak_interval
             simulator.step()
 
+    def _ride_fill(self, fill: _FillState, name: str) -> None:
+        """Wait on someone else's in-flight fill (re-entrant stepping).
+
+        The rider never mutates the fill — the driver owns retries and
+        source switching — but it *does* send NAK rounds for missing
+        packets: inside a nested frame the driver sits below us on the
+        stack and cannot act until we return. The deadline is generous
+        enough to span the driver walking its whole source plan.
+        """
+        simulator = self.simulator
+        deadline = simulator.now + self.fill_timeout * (self.fill_hop_limit + 2)
+        next_nak = simulator.now + self.fill_nak_interval
+        rounds = 0
+        while not fill.done and not fill.exhausted:
+            if self.crashed or simulator.now >= deadline:
+                break
+            nxt = simulator.peek_time()
+            if nxt is None or nxt > next_nak or simulator.now >= next_nak:
+                missing = fill.missing()
+                if missing and rounds < self.fill_nak_rounds:
+                    self._nak_upstream(self._upstream.get(name), missing)
+                    rounds += 1
+                    next_nak = simulator.now + self.fill_nak_interval
+                    continue
+                if nxt is None or nxt > deadline:
+                    break
+                next_nak = max(next_nak, simulator.now) + self.fill_nak_interval
+            simulator.step()
+        if fill.done and name in self.points:
+            return
+        raise PublishError(f"edge fill of {name!r} failed")
+
     # -- broadcast passthrough ------------------------------------------
 
-    def _attach_broadcast(self, name: str, header) -> None:
-        """Republish an origin broadcast as a local live stream."""
-        stream = ASFLiveStream(header)
-        sid = self._open_upstream(
-            name, functools.partial(self._on_broadcast_packet, stream)
-        )
-        self._upstream[name] = sid
-        self.publish(name, stream)
-        self._control_upstream("play", session_id=sid)
+    def _attach_broadcast(
+        self, name: str, header, token: Optional[FillToken]
+    ) -> None:
+        """Republish an upstream broadcast as a local live stream.
 
-    @staticmethod
-    def _on_broadcast_packet(stream: ASFLiveStream, packet: DataPacket) -> None:
-        if not stream.closed:
-            stream.append([packet])
+        In a relay tree the feed is pulled from the regional parent, so
+        it enters each region exactly once and fans out parent →
+        children: the origin carries one live session per region, not
+        one per edge. The parent's copy of the feed is one shared pacing
+        path — every child session rides the same event-driven fan-out.
+        """
+        if token is not None and not self.is_parent:
+            self.cache.counters.inc("fill_refused_cascade")
+            raise PublishError(
+                f"relay {self.name}: broadcast attach of {name!r} on "
+                f"behalf of {token.path[0]!r} refused (not a regional parent)"
+            )
+        upstream_url = (
+            self.parent_url
+            if self.parent_url and not self.is_parent
+            else self.origin_url
+        )
+        out_token = (
+            token.descend(self.name) if token is not None
+            else FillToken((self.name,), self.fill_hop_limit)
+        )
+        upstream_host = urlparse(upstream_url).hostname
+        rid: Optional[str] = None
+        if self.backbone is not None:
+            # a live feed occupies its tree link for as long as it runs;
+            # if the backbone refuses, the attach is refused — honest
+            # admission beats oversubscribed multicast. BudgetError
+            # propagates to the caller (the viewer or child is refused).
+            rid = self.backbone.reserve(
+                (self.host, upstream_host or upstream_url),
+                max(float(header.total_bitrate), 1.0),
+                owner=f"{self.name}:{name}:live",
+            )
+        stream = ASFLiveStream(header)
+        try:
+            ref = self._open_upstream(
+                upstream_url, name,
+                functools.partial(self._on_broadcast_packet, name, stream),
+                token=out_token, budget_rid=rid,
+            )
+        except (HTTPError, PublishError):
+            if rid is not None and self.backbone is not None:
+                self.backbone.release(rid)
+            raise
+        self._upstream[name] = ref
+        self.publish(name, stream)
+        self._control_at(upstream_url, "play", session_id=ref.session_id)
+        feed_id = f"{self.name}:{name}#{next(self._feed_ids)}"
+        self._live_feeds[name] = feed_id
+        if self.tracer is not None:
+            self.tracer.event(
+                "live.feed",
+                feed=feed_id,
+                edge=self.name,
+                region=self.region,
+                point=name,
+                upstream=upstream_host,
+                # the one-feed-per-region invariant audits exactly the
+                # feeds that cross the region boundary (origin-fed)
+                enters_region=upstream_url == self.origin_url,
+            )
+
+    def _on_broadcast_packet(
+        self, name: str, stream: ASFLiveStream, packet: DataPacket
+    ) -> None:
+        if stream.closed:
+            return
+        stream.append([packet])
+        if self.live_history_seconds > 0.0:
+            self.cache.append_live(
+                name, (packet,),
+                horizon_ms=self.live_history_seconds * 1000.0,
+                now_ms=self.simulator.now * 1000.0,
+            )
+
+    def _end_live_feed(self, point: str) -> None:
+        feed_id = self._live_feeds.pop(point, None)
+        if feed_id is not None and self.tracer is not None:
+            self.tracer.event(
+                "live.feed_end",
+                feed=feed_id,
+                edge=self.name,
+                region=self.region,
+                point=point,
+            )
+
+    def _serve_live_history(self, session: StreamSession) -> None:
+        """Bounded catch-up for a late joiner on a live point: one train
+        of the last ``live_history_seconds`` of already-fanned-out
+        packets. Future-scheduled packets are excluded — the ordinary
+        fan-out will deliver them exactly once."""
+        if self.live_history_seconds <= 0.0 or self.crashed:
+            return
+        now_ms = self.simulator.now * 1000.0
+        since = now_ms - self.live_history_seconds * 1000.0
+        # strictly-past packets only: a packet whose fan-out lands at
+        # exactly *now* may still be scheduled for this session, and a
+        # missed boundary packet is NAK-recoverable while a duplicate
+        # is not filterable downstream
+        tail = [
+            p for p in self.cache.live_tail(session.point, since_ms=since)
+            if p.send_time_ms < now_ms
+        ]
+        if not tail:
+            return
+        packets: List[DataPacket] = []
+        wire_size = 0
+        for packet in tail:
+            entry = self._thin_for(session, packet)
+            if entry is not None:
+                packets.append(entry[0])
+                wire_size += entry[1]
+        if not packets:
+            return
+        self._send_train(session, packets, wire_size)
+        self.cache.counters.inc("live_catchup_trains")
+        self.cache.counters.inc("live_catchup_packets", len(packets))
 
     # ------------------------------------------------------------------
     # local session lifecycle (coalescing + two-hop teardown)
@@ -711,12 +1380,16 @@ class EdgeRelay(MediaServer):
         *,
         replica: bool = False,
         multiplicity: int = 1,
+        fill_token: Optional[FillToken] = None,
     ) -> StreamSession:
         if self.crashed:
             raise SessionError("server is down")
-        if self.draining:
+        if self.draining and not replica:
+            # viewers are refused, but replica opens stay admitted: a
+            # drain hands its *upstream* role off by letting successors
+            # fill from this edge while it still holds the runs
             raise SessionError("edge is draining")
-        self._ensure_local(name)
+        self._ensure_local(name, token=fill_token if replica else None)
         return super().open_session(
             name, client_host, deliver, replica=replica,
             multiplicity=multiplicity,
@@ -729,7 +1402,7 @@ class EdgeRelay(MediaServer):
         self._maybe_release_point(point)
 
     def _maybe_release_point(self, point: str) -> None:
-        """Last local client gone: retire the replica and free the origin."""
+        """Last local client gone: retire the replica and free upstream."""
         if point in self._releasing or point in self._fills:
             return
         if point not in self.points:
@@ -748,34 +1421,32 @@ class EdgeRelay(MediaServer):
                 self._releasing.discard(name)
         if not nested:
             self._close_upstream(name)
+            self.cache.drop_live(name)
 
     def _close_upstream(self, point: str) -> None:
-        sid = self._upstream.pop(point, None)
-        if sid is None:
+        ref = self._upstream.pop(point, None)
+        if ref is None:
             return
-        try:
-            # a non-OK answer means the origin already dropped the session
-            # (crash wiped it) — nothing left to close either way
-            self.http_client.post(
-                f"{self.origin_url}/control/close", body={"session_id": sid}
-            )
-        except HTTPError:
-            self._orphan_upstream.append(sid)
+        self._release_budget(ref)
+        self._end_live_feed(point)
+        self._close_ref(ref)
 
     def _retry_orphans(self) -> None:
-        for sid in list(self._orphan_upstream):
+        if not self._orphan_upstream:
+            return
+        pending, self._orphan_upstream = self._orphan_upstream, []
+        for url, sid in pending:
             try:
                 self.http_client.post(
-                    f"{self.origin_url}/control/close",
-                    body={"session_id": sid},
+                    f"{url}/control/close", body={"session_id": sid}
                 )
             except HTTPError:
-                return  # origin still unreachable; keep for the next try
-            self._orphan_upstream.remove(sid)
+                # that upstream is still unreachable; keep for next try
+                self._orphan_upstream.append((url, sid))
 
     def shutdown(self) -> None:
         """Clean teardown for tests: drain clients, retire points, settle
-        upstream orphans — after this the origin holds nothing of ours."""
+        upstream orphans — after this no upstream holds anything of ours."""
         for session in list(self.sessions.all()):
             self.close_session(session.session_id)
         for point in list(self.points):
@@ -791,7 +1462,7 @@ class EdgeRelay(MediaServer):
 
         The crash path costs each viewer a stall-watchdog timeout plus a
         seek+replay reconnect; a *planned* removal shouldn't. ``drain``
-        first stops admitting (the directory reports this edge
+        first stops admitting viewers (the directory reports this edge
         unavailable), then for every live streaming session transfers
         the delivery cursor — point, packet-sequence frontier, burst
         parameters, effectively the pacing-group position — to the first
@@ -802,6 +1473,14 @@ class EdgeRelay(MediaServer):
         callback, and only then is the local session closed (releasing
         this edge's reservation) — no double-reservation window on a
         single link, no gap or overlap in the packet stream, ~0 rebuffer.
+
+        The *upstream* side migrates warm too: adopting a session the
+        successor does not hold locally triggers its ordinary fill, and
+        because a draining edge still answers **replica** opens (and the
+        holder registry still lists it), the successor fills from *this
+        edge* over the peer mesh instead of re-filling cold from the
+        origin — the draining edge's backbone work is inherited, not
+        repeated.
 
         If the successor refuses or dies mid-transfer the session falls
         back to the crash path: it is closed locally and the client's
@@ -907,9 +1586,10 @@ class EdgeRelay(MediaServer):
         self.close_session(session.session_id)
         return False
 
-    def take_upstream_orphans(self) -> List[int]:
-        """Hand pending orphaned origin session ids to a settling agent
-        (the heartbeat monitor, at suspicion time) and forget them."""
+    def take_upstream_orphans(self) -> List[Tuple[str, int]]:
+        """Hand pending orphaned ``(upstream url, session id)`` pairs to
+        a settling agent (the heartbeat monitor, at suspicion time) and
+        forget them."""
         orphans, self._orphan_upstream = self._orphan_upstream, []
         return orphans
 
@@ -921,11 +1601,17 @@ class EdgeRelay(MediaServer):
         if self.crashed:
             return
         for fill in self._fills.values():
-            fill.failed = True
+            fill.attempt_failed = True
+            fill.exhausted = True
         super().crash()
-        # the process died before telling the origin: its replica sessions
-        # are now orphans on the origin side, settled at restart/shutdown
-        self._orphan_upstream.extend(self._upstream.values())
+        # the process died before telling its upstreams: those replica
+        # sessions are now orphans upstream, settled at restart/shutdown
+        # (or by the heartbeat monitor); any backbone reservations and
+        # live feeds the process held are gone with it
+        for point, ref in list(self._upstream.items()):
+            self._release_budget(ref)
+            self._end_live_feed(point)
+            self._orphan_upstream.append((ref.url, ref.session_id))
         self._upstream.clear()
         # local replicas are process memory; the cache plays the disk, so
         # a restarted edge refills by cache hit instead of origin egress
@@ -942,7 +1628,7 @@ class EdgeRelay(MediaServer):
         self._retry_orphans()
 
     # ------------------------------------------------------------------
-    # deferred join (pacing-group aggregation)
+    # deferred join (pacing-group aggregation) + live catch-up
     # ------------------------------------------------------------------
 
     def play(
@@ -959,9 +1645,21 @@ class EdgeRelay(MediaServer):
         with the same cursor and burst parameters, so they share one
         pacing group — the edge-side half of request coalescing. With
         ``join_quantum == 0`` behaviour is exactly the base class's.
+        Broadcast joins start immediately; a late joiner additionally
+        receives the bounded live history as a catch-up train.
         """
         session = self.sessions.get(session_id)
-        if self.join_quantum <= 0.0 or session.broadcast:
+        if session.broadcast:
+            super().play(
+                session_id, start=start, burst_factor=burst_factor,
+                burst_seconds=burst_seconds,
+            )
+            # replica sessions get catch-up too: that is how a late-
+            # attaching child edge pulls its parent's history down the
+            # tree before the live fan-out takes over
+            self._serve_live_history(session)
+            return
+        if self.join_quantum <= 0.0:
             super().play(
                 session_id, start=start, burst_factor=burst_factor,
                 burst_seconds=burst_seconds,
@@ -1029,16 +1727,26 @@ class EdgeRelay(MediaServer):
         return entry
 
     # ------------------------------------------------------------------
-    # HTTP control plane (describe proxies unknown points)
+    # HTTP control plane (describe proxies unknown points; open carries
+    # the fill token)
     # ------------------------------------------------------------------
+
+    def _open_kwargs(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        kwargs = super()._open_kwargs(body)
+        if kwargs.get("replica"):
+            token = FillToken.from_wire(body)
+            if token is not None:
+                kwargs["fill_token"] = token
+        return kwargs
 
     def _handle_describe(self, request: HTTPRequest) -> HTTPResponse:
         if self.crashed:
             return HTTPResponse(503, body="server is down")
         name = request.path[len("/lod/"):]
         if name not in self.points:
+            token = FillToken.from_wire(request.query)
             try:
-                self._ensure_local(name)
+                self._ensure_local(name, token=token)
             except (PublishError, SessionError) as exc:
                 return HTTPResponse(502, body=f"edge fill failed: {exc}")
             except HTTPError as exc:
@@ -1069,6 +1777,9 @@ def build_edge_tier(
     join_quantum: float = 0.0,
     fill_burst: float = 64.0,
     origin_fallback: bool = False,
+    sibling_fills: bool = False,
+    backbone_budget: Optional[BackboneBudget] = None,
+    live_history_seconds: float = 0.0,
     tracer=None,
 ) -> Tuple[EdgeDirectory, List[EdgeRelay]]:
     """Origin + N edges: backbone links, relays, populated directory.
@@ -1078,6 +1789,11 @@ def build_edge_tier(
     returned directory places clients; hand it to players (re-route on
     reconnect) and to :meth:`FaultInjector.register_directory
     <repro.net.faults.FaultInjector.register_directory>` (chaos).
+
+    ``sibling_fills=True`` attaches the directory to every relay so
+    cache misses fill from sibling edges before the origin; the default
+    keeps PR 5's flat origin-only behaviour. For regional parents and
+    live multicast use :func:`build_relay_tree`.
     """
     origin_url = f"http://{origin.host}:{origin.port}"
     directory = EdgeDirectory(
@@ -1100,12 +1816,17 @@ def build_edge_tier(
             shared_pacing=shared_pacing,
             join_quantum=join_quantum,
             fill_burst=fill_burst,
+            backbone=backbone_budget,
+            live_history_seconds=live_history_seconds,
             tracer=tracer,
         )
         relays.append(relay)
         directory.add_edge(relay.name, relay=relay, capacity=capacity)
-    # edge-to-edge mesh: the drain protocol's adopt round-trip runs
-    # peer-to-peer (cursor transfer never transits the origin)
+    if sibling_fills:
+        for relay in relays:
+            relay.attach_directory(directory)
+    # edge-to-edge mesh: the drain protocol's adopt round-trip and the
+    # sibling fills run peer-to-peer (never transiting the origin)
     for i, a in enumerate(relays):
         for b in relays[i + 1:]:
             network.connect(
@@ -1113,3 +1834,115 @@ def build_edge_tier(
                 bandwidth=backbone_bandwidth, delay=backbone_delay,
             )
     return directory, relays
+
+
+def build_relay_tree(
+    network: VirtualNetwork,
+    origin: MediaServer,
+    regions: Dict[str, Sequence[str]],
+    *,
+    backbone_bandwidth: float = 50_000_000.0,
+    backbone_delay: float = 0.005,
+    capacity: Optional[int] = None,
+    cache_bytes: int = 64 * 1024 * 1024,
+    vnodes: int = 64,
+    seed: int = 0,
+    port: int = 8080,
+    qos_enabled: bool = False,
+    pacing_quantum: float = 0.0,
+    shared_pacing: bool = True,
+    join_quantum: float = 0.0,
+    fill_burst: float = 64.0,
+    fill_hop_limit: int = 3,
+    live_history_seconds: float = 30.0,
+    backbone_budget: Optional[BackboneBudget] = None,
+    origin_fallback: bool = False,
+    tracer=None,
+) -> Tuple[EdgeDirectory, Dict[str, EdgeRelay], List[EdgeRelay]]:
+    """Origin + regional parents + leaf edges: the multi-level tree.
+
+    ``regions`` maps a region name to its leaf edge hosts. Every region
+    gets one parent relay (host ``<region>-parent``) linked to the
+    origin; leaves link to their parent, to the origin (authority
+    describes and last-resort fills), and to each other (sibling fills,
+    drain adopts). The directory is attached to every relay, so cache
+    misses fill sibling → parent → origin, and broadcast feeds enter
+    each region exactly once at the parent.
+
+    Returns ``(directory, {region: parent relay}, leaf relays)``.
+    """
+    origin_url = f"http://{origin.host}:{origin.port}"
+    directory = EdgeDirectory(
+        vnodes=vnodes, seed=seed,
+        origin_url=origin_url if origin_fallback else None,
+    )
+    parents: Dict[str, EdgeRelay] = {}
+    leaves: List[EdgeRelay] = []
+    all_relays: List[EdgeRelay] = []
+    connected: Set[Tuple[str, str]] = set()
+
+    def connect(a: str, b: str) -> None:
+        pair = (a, b) if a <= b else (b, a)
+        if a == b or pair in connected:
+            return
+        connected.add(pair)
+        network.connect(
+            a, b, bandwidth=backbone_bandwidth, delay=backbone_delay
+        )
+
+    for region in sorted(regions):
+        parent_host = f"{region}-parent"
+        connect(origin.host, parent_host)
+        parent = EdgeRelay(
+            network, parent_host,
+            origin_url=origin_url,
+            name=f"parent-{region}",
+            cache=PacketRunCache(max_bytes=cache_bytes),
+            port=port,
+            qos_enabled=qos_enabled,
+            pacing_quantum=pacing_quantum,
+            shared_pacing=shared_pacing,
+            fill_burst=fill_burst,
+            region=region,
+            is_parent=True,
+            backbone=backbone_budget,
+            fill_hop_limit=fill_hop_limit,
+            live_history_seconds=live_history_seconds,
+            tracer=tracer,
+        )
+        parents[region] = parent
+        all_relays.append(parent)
+        directory.add_parent(region, relay=parent, name=parent.name)
+        parent_url = f"http://{parent.host}:{parent.port}"
+        for host in regions[region]:
+            connect(origin.host, host)
+            connect(parent_host, host)
+            relay = EdgeRelay(
+                network, host,
+                origin_url=origin_url,
+                cache=PacketRunCache(max_bytes=cache_bytes),
+                port=port,
+                qos_enabled=qos_enabled,
+                pacing_quantum=pacing_quantum,
+                shared_pacing=shared_pacing,
+                join_quantum=join_quantum,
+                fill_burst=fill_burst,
+                region=region,
+                parent_url=parent_url,
+                backbone=backbone_budget,
+                fill_hop_limit=fill_hop_limit,
+                live_history_seconds=live_history_seconds,
+                tracer=tracer,
+            )
+            leaves.append(relay)
+            all_relays.append(relay)
+            directory.add_edge(
+                relay.name, relay=relay, capacity=capacity, region=region
+            )
+    for relay in all_relays:
+        relay.attach_directory(directory)
+    # peer mesh: sibling fills and drain adopts run edge-to-edge
+    for i, a in enumerate(all_relays):
+        for b in all_relays[i + 1:]:
+            connect(a.host, b.host)
+    return directory, parents, leaves

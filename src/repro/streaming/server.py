@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..asf.packets import DataPacket
 from ..asf.stream import ASFFile, ASFLiveStream
@@ -1020,6 +1020,9 @@ class MediaServer:
             "broadcast": point.broadcast,
             "header": point.header,
             "description": point.description,
+            # nominal content rate — what a relay tree charges against its
+            # backbone budget for a fill or live feed over this point
+            "bitrate": point.header.total_bitrate,
         }
         if request.query.get("replica") and not point.broadcast:
             # a replica fill needs the content address (cache key) and the
@@ -1031,6 +1034,15 @@ class MediaServer:
             body["sequences"] = tuple(p.sequence for p in content.packets)
         return HTTPResponse(200, body=body)
 
+    def _open_kwargs(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """Keyword arguments the ``open`` control action forwards to
+        :meth:`open_session`. Subclasses extend — the edge relay adds the
+        hop-limited fill token a tree fill carries."""
+        return {
+            "replica": bool(body.get("replica")),
+            "multiplicity": int(body.get("multiplicity", 1)),
+        }
+
     def _handle_control(self, request: HTTPRequest) -> HTTPResponse:
         if self.crashed:
             return HTTPResponse(503, body="server is down")
@@ -1040,8 +1052,7 @@ class MediaServer:
             if action == "open":
                 session = self.open_session(
                     body["point"], request.client_host, body["deliver"],
-                    replica=bool(body.get("replica")),
-                    multiplicity=int(body.get("multiplicity", 1)),
+                    **self._open_kwargs(body),
                 )
                 # how to re-point this client if its session is ever
                 # warm-handed to a successor edge (None: crash path only)

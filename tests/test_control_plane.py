@@ -278,3 +278,92 @@ class TestAutoscaler:
         assert scaler.counters.get("scale_downs", 0) == 0
         assert directory.edges() == ["edge0"] or "edge0" in directory.edges()
         scaler.stop()
+
+
+class TestRicherCapacitySignals:
+    """PR 8 signals: QoE-percentile dict probes and bytes_served trends
+    feed the same hysteresis machinery as raw viewer counts."""
+
+    def _latent(self, net, name):
+        def factory(edge_name):
+            net.connect("origin", edge_name,
+                        bandwidth=50_000_000, delay=0.005)
+            net.connect(edge_name, "student",
+                        bandwidth=2_000_000, delay=0.02)
+            return EdgeRelay(
+                net, edge_name,
+                origin_url="http://origin:8080",
+                cache=PacketRunCache(),
+                pacing_quantum=0.5,
+            )
+
+        return LatentEdge(name, factory)
+
+    def test_rebuffer_p95_probe_scales_up_with_hysteresis(self):
+        net, origin, directory, relays = make_tier(edges=1)
+        probe = {"value": {"startup_p95": 0.1, "rebuffer_p95": 0.2}}
+        policy = CapacityPolicy(
+            high_load=1000.0, low_load=0.5, sustain=2, cooldown=2.0,
+            min_edges=1, max_rebuffer_p95=0.05,
+        )
+        scaler = Autoscaler(
+            net.simulator, directory,
+            latent=[self._latent(net, "edge-x")],
+            policy=policy, interval=0.5,
+            qoe_probe=lambda: probe["value"],
+        )
+        scaler.start()
+        # one bad sample is not enough: sustain=2 holds the action
+        net.simulator.run_until(0.9)
+        assert scaler.counters.get("scale_ups", 0) == 0
+        net.simulator.run_until(2.0)
+        assert scaler.counters["scale_ups"] == 1
+        assert scaler.active_latent == ["edge-x"]
+        # viewer load never looked high — the QoE percentile did it
+        assert all(s["per_edge"] < policy.high_load for s in scaler.samples)
+
+        # QoE recovers: the dead-quiet tier drains the latent edge after
+        # cooldown, and only the latent edge
+        probe["value"] = {"startup_p95": 0.01, "rebuffer_p95": 0.0}
+        net.simulator.run_until(8.0)
+        assert scaler.counters["scale_downs"] == 1
+        assert scaler.active_latent == []
+        assert "edge-x" not in directory.edges()
+        assert "edge0" in directory.edges()
+        scaler.stop()
+
+    def test_bytes_rate_trend_scales_up_when_viewer_counts_look_calm(self):
+        net, origin, directory, relays = make_tier(edges=1)
+        policy = CapacityPolicy(
+            high_load=1000.0, low_load=0.5, sustain=2, cooldown=60.0,
+            min_edges=1, high_bytes_rate=1.0,
+        )
+        scaler = Autoscaler(
+            net.simulator, directory,
+            latent=[self._latent(net, "edge-x")],
+            policy=policy, interval=0.5,
+        )
+        scaler.start()
+
+        player = MediaPlayer(net, "student", multiplicity=10)
+        player.connect(directory.url_for("student", "lecture"))
+        player.play()
+        net.simulator.run_until(4.0)
+
+        # a first sighting primes the baseline instead of counting the
+        # edge's lifetime bytes as one giant delta
+        assert scaler.samples[0]["bytes_delta"] == 0
+        assert relays[0].bytes_served > 0
+        # ten modeled viewers never crossed high_load=1000; the byte
+        # trend is what tripped the guard
+        assert scaler.counters["scale_ups"] == 1
+        assert all(s["per_edge"] < policy.high_load for s in scaler.samples)
+        assert any(s["bytes_rate"] > policy.high_bytes_rate
+                   for s in scaler.samples)
+
+        player.stop()
+        scaler.stop()
+        for relay in relays:
+            relay.shutdown()
+        net.simulator.run()
+        assert len(origin.sessions) == 0

@@ -23,7 +23,7 @@ import pytest
 
 from repro.asf import ASFEncoder, EncoderConfig, slide_commands
 from repro.media import AudioObject, ImageObject, VideoObject, get_profile
-from repro.metrics.counters import reset_counters
+from repro.metrics.counters import get_counters, reset_counters
 from repro.net import FaultInjector, FaultPlan
 from repro.obs import TraceChecker, Tracer
 from repro.streaming import (
@@ -259,3 +259,40 @@ class TestDrainFallback:
         checker = teardown_audit(origin, relays, tracer)
         assert checker.fallbacks_seen == 1
         assert checker.handoffs_seen == 0
+
+
+class TestDrainUpstreamHandoff:
+    def test_successor_fills_from_draining_edge_not_the_origin(self):
+        """A drain hands off its *upstream* role too: the draining edge
+        keeps admitting replica opens while it refuses viewers, so the
+        successor's adopt-triggered fill finds it as a warm sibling and
+        the origin never pays a second data egress for the hand-off."""
+        tracer = Tracer("drain-upstream")
+        net, origin, directory, relays = make_tier(
+            tracer=tracer, sibling_fills=True
+        )
+        home = directory.place("student|lecture")
+        home_relay = next(r for r in relays if r.name == home)
+        survivor = next(r for r in relays if r.name != home)
+
+        player = start_player(net, directory, tracer)
+        stats = {}
+        net.simulator.schedule_at(
+            8.0, lambda: stats.update(home_relay.drain(directory))
+        )
+        report = finish(net, player)
+
+        assert stats == {"handoffs": 1, "fallbacks": 0}
+        assert report.rebuffer_count == 0
+        # the successor's fill was served by the draining edge itself —
+        # a warm replica hop, not a cold re-pull from the origin
+        assert get_counters("edge_cache")["sibling_fills"] == 1
+        assert origin.sessions.total_created == 1
+        # the successor served the tail (its point released on finish)
+        assert survivor.sessions.total_created >= 1
+
+        checker = teardown_audit(origin, relays, tracer)
+        assert checker.handoffs_seen == 1
+        # the draining edge's own origin replica settled once the
+        # successor's fill session released it
+        assert len(origin.sessions) == 0
