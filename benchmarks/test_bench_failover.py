@@ -1,0 +1,229 @@
+"""Failover bench — parent-crash recovery latency and live stall cost.
+
+Quantifies region parent failover end to end and emits
+``BENCH_failover.json`` at the repo root:
+
+* **crash_failover** — the regional parent is killed cold under a live
+  broadcast with viewers on every leaf. Measured per seed: how long
+  until the heartbeat monitor suspects it and the region is re-parented
+  (bounded by the miss threshold — failover runs synchronously inside
+  the suspicion sweep), how many live feeds migrated, the worst viewer
+  stall, and that every viewer still sees the whole broadcast exactly
+  once with a leak-free backbone budget and a clean
+  :class:`TraceChecker` audit;
+* **planned_vs_crash** — the same region loses its parent both ways: an
+  operator-initiated :meth:`HeartbeatMonitor.fail_over_now` (planned
+  maintenance, no detection wait — the PR 7 planned-drain analogue for
+  the parent tier) versus a hard crash. The planned arm's stall must be
+  a fraction of the crash arm's, whose floor is the detection window.
+
+``BENCH_FAILOVER_SMOKE=1`` shrinks to one seed for CI (<60 s).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from benchmarks._harness import run_once
+
+from repro.control import HeartbeatMonitor
+from repro.lod import LiveCaptureSession
+from repro.media import get_profile
+from repro.metrics import format_table
+from repro.metrics.counters import get_counters, reset_counters
+from repro.obs import TraceChecker, Tracer
+from repro.streaming import BackboneBudget, MediaServer, build_relay_tree
+from repro.web import VirtualNetwork
+
+SMOKE = bool(os.environ.get("BENCH_FAILOVER_SMOKE"))
+SEEDS = [0] if SMOKE else [0, 1, 2]
+
+INTERVAL = 0.5
+MISS = 3
+DETECTION_BOUND = MISS * INTERVAL + 2 * INTERVAL + 0.01
+EVENT_AT = 3.0
+BROADCAST_S = 8.0
+
+
+def make_live_tree(seed, tracer, budget):
+    reset_counters("edge_cache")
+    net = VirtualNetwork()
+    tracer.bind_clock(net.simulator)
+    net.simulator.tracer = tracer
+    origin = MediaServer(
+        net, "origin", port=8080, pacing_quantum=0.5,
+        trace_label="origin", tracer=tracer,
+    )
+    capture = LiveCaptureSession(
+        net.simulator, get_profile("isdn-dual"), chunk=0.5
+    )
+    origin.publish("live", capture.stream)
+    directory, parents, leaves = build_relay_tree(
+        net, origin, {"r0": ["e0", "e1"]},
+        pacing_quantum=0.5, seed=seed, backbone_budget=budget, tracer=tracer,
+    )
+    for leaf in leaves:
+        net.connect(leaf.host, "viewer", bandwidth=2_000_000, delay=0.02)
+    monitor = HeartbeatMonitor(
+        net, directory, interval=INTERVAL, miss_threshold=MISS,
+        seed=seed, tracer=tracer,
+    )
+    monitor.watch_directory()
+    monitor.start()
+    return net, origin, directory, parents, leaves, monitor, capture
+
+
+def measure_failover(seed, *, planned):
+    """One live region loses its parent at EVENT_AT — planned or cold."""
+    tracer = Tracer("bench-failover")
+    budget = BackboneBudget(tracer=tracer)
+    net, origin, directory, parents, leaves, monitor, capture = \
+        make_live_tree(seed, tracer, budget)
+    parent = parents["r0"]
+
+    # per-leaf viewer sinks, with arrival timestamps for stall analysis
+    arrivals = {leaf.name: [] for leaf in leaves}
+
+    def sink_for(name):
+        def deliver(packet):
+            arrivals[name].append((net.simulator.now, packet.sequence))
+        return deliver
+
+    sessions = {}
+    for leaf in leaves:
+        sessions[leaf.name] = leaf.open_session(
+            "live", "viewer", sink_for(leaf.name)
+        )
+        leaf.play(sessions[leaf.name].session_id)
+
+    net.simulator.run_until(EVENT_AT)
+    if planned:
+        monitor.fail_over_now(parent.name)
+        parent.shutdown()
+    else:
+        parent.crash()
+    net.simulator.run_until(EVENT_AT + DETECTION_BOUND + 1.0)
+
+    assert len(monitor.failovers) == 1
+    failover = monitor.failovers[0]
+    latency = failover["time"] - EVENT_AT
+
+    net.simulator.run_until(BROADCAST_S + 1.0)
+    capture.finish()
+    monitor.stop()
+    net.simulator.run(max_events=5_000_000)
+
+    sent = {p.sequence for p in capture.stream.packets}
+    stalls = {}
+    for name, log in arrivals.items():
+        got = [seq for _, seq in log]
+        assert len(got) == len(set(got)), f"{name} saw duplicates"
+        assert set(got) == sent, f"{name} missed live packets"
+        times = [t for t, _ in log]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        pre = [g for g, t in zip(gaps, times[1:]) if t <= EVENT_AT]
+        nominal = max(pre) if pre else 0.5
+        stalls[name] = max(0.0, max(gaps) - nominal)
+
+    for leaf in leaves:
+        leaf.close_session(sessions[leaf.name].session_id)
+        leaf.shutdown()
+    net.simulator.run(max_events=1_000_000)
+    budget.assert_no_leaks()
+    checker = TraceChecker(tracer.records).assert_ok()
+    counters = get_counters("edge_cache")
+    return {
+        "mode": failover["mode"],
+        "failover_latency_s": round(latency, 3),
+        "bound_s": round(DETECTION_BOUND, 3),
+        "feeds_migrated": failover["feeds_migrated"],
+        "feeds_dropped": failover["feeds_dropped"],
+        "forced_releases": len(failover["forced_releases"])
+        if isinstance(failover["forced_releases"], list)
+        else failover["forced_releases"],
+        "worst_stall_s": round(max(stalls.values()), 3),
+        "stalls_by_leaf": {k: round(v, 3) for k, v in stalls.items()},
+        "packets_broadcast": len(sent),
+        "gap_naks": counters.get("live_gap_naks", 0),
+        "duplicates_dropped": counters.get("live_duplicates_dropped", 0),
+        "budget_leaks": 0,
+        "checker_feeds_migrated": checker.feeds_migrated,
+        "events": net.simulator.events_processed,
+    }
+
+
+class TestFailoverBench:
+    def test_bench_crash_failover(self, benchmark):
+        def scenario():
+            return {s: measure_failover(s, planned=False) for s in SEEDS}
+
+        rows = run_once(benchmark, scenario)
+        print("\n[failover] parent crash under live broadcast:")
+        print(format_table(
+            ["seed", "latency", "bound", "migrated", "worst stall", "naks"],
+            [[s, f"{r['failover_latency_s']:.3f}s", f"{r['bound_s']:.2f}s",
+              r["feeds_migrated"], f"{r['worst_stall_s']:.3f}s",
+              r["gap_naks"]] for s, r in rows.items()],
+        ))
+        for r in rows.values():
+            assert r["mode"] == "promote"
+            assert 0.0 < r["failover_latency_s"] <= r["bound_s"]
+            assert r["feeds_migrated"] == 2 and r["feeds_dropped"] == 0
+            # the stall a viewer sees is the detection window plus the
+            # catch-up, never an unbounded outage
+            assert r["worst_stall_s"] <= r["bound_s"] + 2.0
+        _emit(crash_failover={str(s): r for s, r in rows.items()})
+
+    def test_bench_planned_vs_crash(self, benchmark):
+        def scenario():
+            return {
+                s: {
+                    "planned": measure_failover(s, planned=True),
+                    "crash": measure_failover(s, planned=False),
+                }
+                for s in SEEDS
+            }
+
+        rows = run_once(benchmark, scenario)
+        print("\n[failover] planned maintenance vs cold crash (same region):")
+        print(format_table(
+            ["seed", "arm", "latency", "worst stall", "migrated"],
+            [[s, arm, f"{r['failover_latency_s']:.3f}s",
+              f"{r['worst_stall_s']:.3f}s", r["feeds_migrated"]]
+             for s, arms in rows.items() for arm, r in arms.items()],
+        ))
+        for arms in rows.values():
+            planned, crash = arms["planned"], arms["crash"]
+            # no detection wait on the planned path
+            assert planned["failover_latency_s"] <= 0.05
+            assert planned["feeds_migrated"] == 2
+            # the crash arm pays the detection window; the planned arm
+            # must cost well under half of it
+            assert planned["worst_stall_s"] < crash["worst_stall_s"]
+            assert planned["worst_stall_s"] <= 1.0
+        _emit(planned_vs_crash={str(s): r for s, r in rows.items()})
+
+
+def _emit(**section):
+    """Merge a result section into BENCH_failover.json at repo root."""
+    path = Path(__file__).resolve().parent.parent / "BENCH_failover.json"
+    payload = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            payload = {}
+    payload.update(section)
+    payload["config"] = {
+        "smoke": SMOKE,
+        "seeds": SEEDS,
+        "profile": "isdn-dual",
+        "broadcast_s": BROADCAST_S,
+        "heartbeat_interval_s": INTERVAL,
+        "miss_threshold": MISS,
+        "detection_bound_s": round(DETECTION_BOUND, 3),
+        "event_at_s": EVENT_AT,
+        "regions": 1,
+        "leaves": 2,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")

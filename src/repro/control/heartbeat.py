@@ -23,7 +23,23 @@ in-flight fills and viewer sessions were never touched. A suspected edge
 that actually *crashed* left upstream replica sessions orphaned on the
 origin — the monitor settles those immediately at suspicion time
 (posting the close on the origin's control route) instead of letting
-them leak until a restart or shutdown that may never come.
+them leak until a restart or shutdown that may never come. Settlement
+runs in **both directions**: the crashed relay's own upstream orphans
+(what *it* held elsewhere) and every surviving relay's references *at*
+the dead host (what others held there — in-flight fills abort and
+re-plan, live feeds migrate or drop).
+
+Crashed **regional parents** additionally trigger region failover
+(``parent_failover=True``): the directory elects the healthiest
+same-region leaf as acting parent (:meth:`EdgeDirectory.promote_parent`)
+— or falls the region flat to origin-only when no leaf qualifies — and
+every surviving leaf re-attaches its live feeds to the new upstream with
+bounded catch-up from live history, the viewer-facing stream untouched.
+Any backbone reservation still charged on the dead parent's links is
+force-released as a final safety net, so ``assert_no_leaks`` holds the
+moment suspicion fires. The whole sequence is traced
+(``region.failover`` / ``region.failover_end``) for
+:class:`~repro.obs.checker.TraceChecker` audit.
 
 Everything is deterministic: beacon phases are sha1-derived from
 ``(seed, edge name)``, tasks are epoch-anchored
@@ -40,6 +56,7 @@ from typing import Any, Dict, List, Optional
 from ..metrics.counters import Counters
 from ..net.engine import PeriodicTask
 from ..net.transport import DatagramChannel, Message
+from ..streaming.edge import PlacementError
 from ..web.http import HTTPClient, HTTPError
 
 #: heartbeat datagram payload size (bytes on the wire, before UDP/IP
@@ -100,6 +117,7 @@ class HeartbeatMonitor:
         seed: int = 0,
         beacon_bandwidth: float = 1_000_000.0,
         beacon_delay: float = 0.005,
+        parent_failover: bool = True,
         tracer=None,
     ) -> None:
         if interval <= 0:
@@ -116,10 +134,14 @@ class HeartbeatMonitor:
         self.seed = seed
         self.beacon_bandwidth = beacon_bandwidth
         self.beacon_delay = beacon_delay
+        self.parent_failover = parent_failover
         self.tracer = tracer
         self.counters = Counters("control-monitor")
         #: (time, edge, silence) per suspicion — detection-latency data
         self.suspicions: List[Dict[str, Any]] = []
+        #: one entry per region failover — what was promoted (or that
+        #: the region fell flat), when, and what moved
+        self.failovers: List[Dict[str, Any]] = []
         self._watched: Dict[str, _WatchState] = {}
         self._sweep_task: Optional[PeriodicTask] = None
         #: (origin_url, session_id) closes that failed and await retry
@@ -231,7 +253,12 @@ class HeartbeatMonitor:
         if state.suspected:
             state.suspected = False
             state.suspected_at = None
-            self.directory.mark_up(name)
+            try:
+                self.directory.mark_up(name)
+            except PlacementError:
+                # removed from the directory while suspected (scaled
+                # away, or a failed-over parent): the beat is just noise
+                pass
             self.counters.inc("rejoins")
             if self.tracer is not None:
                 self.tracer.event("control.rejoin", edge=name)
@@ -259,7 +286,10 @@ class HeartbeatMonitor:
         now = self.simulator.now
         state.suspected = True
         state.suspected_at = now
-        self.directory.mark_down(state.name)
+        try:
+            self.directory.mark_down(state.name)
+        except PlacementError:
+            pass  # already removed from the directory
         self.counters.inc("suspicions")
         self.suspicions.append(
             {"time": now, "edge": state.name, "silence": silence}
@@ -273,9 +303,151 @@ class HeartbeatMonitor:
             )
         # a crashed edge left its origin-side replica sessions orphaned;
         # settle them now instead of waiting for a restart/shutdown that
-        # may never come. A suspected-but-alive edge keeps everything.
+        # may never come. A suspected-but-alive *leaf* keeps everything
+        # (it may rejoin), but a suspected **parent** is failed over
+        # either way: the region cannot tell a dead parent from a
+        # silently partitioned one, and every leaf behind it is stalled
+        # until someone re-parents them. A partitioned parent that later
+        # rejoins comes back demoted — the slot already has a successor.
         if state.relay is not None and state.relay.crashed:
             self._settle_orphans(state.relay)
+        if self.parent_failover and state.relay is not None:
+            if getattr(state.relay, "is_parent", False):
+                self._fail_over_parent(state)
+            elif state.relay.crashed:
+                self._abort_downstream(state.relay)
+
+    # ------------------------------------------------------------------
+    # region parent failover
+
+    def _region_relays(self, region: str, *, exclude: str):
+        """Surviving relay objects of ``region``, deterministic order."""
+        out = []
+        for name, relay in sorted(self.directory.relays().items()):
+            if name == exclude or relay is None or relay.crashed:
+                continue
+            try:
+                if self.directory.region_of(name) != region:
+                    continue
+            except PlacementError:
+                continue
+            out.append(relay)
+        return out
+
+    def _fail_over_parent(self, state: _WatchState) -> None:
+        """Re-parent a region whose parent relay crashed.
+
+        Runs synchronously inside the suspicion sweep, in a fixed
+        order: elect → promote → migrate the successor's own feeds to
+        the origin → re-point every other leaf at the successor (their
+        feeds migrate with bounded catch-up, fills abort and re-plan) →
+        force-release whatever the dead parent's links still hold. When
+        no leaf qualifies the region falls **flat**: the parent slot is
+        cleared and leaves work straight against the origin.
+        """
+        relay = state.relay
+        region = getattr(relay, "region", None)
+        if region is None or self.directory.parent_name(region) != state.name:
+            return  # not this region's acting parent (already failed over)
+        dead_url = f"http://{relay.host}:{relay.port}"
+        successor_name = self.directory.elect_parent(region)
+        successor = None
+        if successor_name is not None:
+            successor = self.directory.relays().get(successor_name)
+        mode = "promote" if successor is not None else "flat"
+        self.counters.inc("failovers")
+        if self.tracer is not None:
+            self.tracer.event(
+                "region.failover",
+                region=region,
+                dead=state.name,
+                dead_host=relay.host,
+                mode=mode,
+                successor=successor_name if successor is not None else None,
+            )
+        stats = {"fills_aborted": 0, "feeds_migrated": 0,
+                 "feeds_dropped": 0, "refs_settled": 0}
+
+        def merge(part):
+            for key in stats:
+                stats[key] += part.get(key, 0)
+
+        if successor is not None:
+            # promote first so every subsequent _current_parent_url()
+            # lookup — including ones inside re-entrant migration
+            # round-trips — already answers the new parent
+            self.directory.promote_parent(region, successor_name)
+            successor.is_parent = True
+            successor.parent_url = None
+            # the successor's own feeds now enter the region from the
+            # origin; its viewers ride the same local streams throughout
+            merge(successor.upstream_crashed(
+                dead_url, migrate_to=successor.origin_url
+            ))
+            new_upstream = self.directory.edge_url(successor_name)
+        else:
+            self.directory.clear_parent(region)
+            new_upstream = None
+        for peer in self._region_relays(region, exclude=state.name):
+            if successor is not None and peer.name == successor_name:
+                continue
+            peer.parent_url = new_upstream
+            merge(peer.upstream_crashed(
+                dead_url,
+                migrate_to=new_upstream if new_upstream is not None
+                else peer.origin_url,
+            ))
+        # safety net: anything still charged on the dead parent's links
+        # (e.g. an aborted fill whose driver frame has not unwound yet)
+        # is settled now; the holder's own later release is a tolerated
+        # no-op, so the budget is leak-free the moment suspicion fires
+        forced = []
+        backbone = getattr(relay, "backbone", None)
+        if backbone is not None:
+            forced = backbone.force_release_host(relay.host)
+        self.counters.inc("feeds_migrated", stats["feeds_migrated"])
+        self.counters.inc("fills_aborted", stats["fills_aborted"])
+        self.counters.inc("downstream_settled", stats["refs_settled"])
+        self.counters.inc("budget_force_released", len(forced))
+        record = {
+            "time": self.simulator.now,
+            "region": region,
+            "dead": state.name,
+            "mode": mode,
+            "successor": successor_name if successor is not None else None,
+            "forced_releases": len(forced),
+        }
+        record.update(stats)
+        self.failovers.append(record)
+        if self.tracer is not None:
+            self.tracer.event(
+                "region.failover_end",
+                region=region,
+                dead=state.name,
+                dead_host=relay.host,
+                mode=mode,
+                successor=record["successor"],
+                migrated=stats["feeds_migrated"],
+                aborted=stats["fills_aborted"],
+                dropped=stats["feeds_dropped"],
+                settled=stats["refs_settled"],
+                forced_releases=len(forced),
+            )
+
+    def _abort_downstream(self, relay) -> None:
+        """Settle what surviving relays hold *at* a crashed non-parent:
+        a sibling fill in flight through it aborts and re-plans instead
+        of waiting out its timeout; leaf-side replica refs are settled
+        (the dead host's session table died with it)."""
+        dead_url = f"http://{relay.host}:{relay.port}"
+        for name, peer in sorted(self.directory.relays().items()):
+            if peer is None or peer is relay or peer.crashed:
+                continue
+            if not hasattr(peer, "upstream_crashed"):
+                continue
+            part = peer.upstream_crashed(dead_url)
+            self.counters.inc("fills_aborted", part["fills_aborted"])
+            self.counters.inc("downstream_settled", part["refs_settled"])
 
     # ------------------------------------------------------------------
     # orphan settlement (the suspicion/fill interaction fix)
@@ -306,6 +478,26 @@ class HeartbeatMonitor:
         pending, self._settle_retry = self._settle_retry, []
         for origin_url, session_id in pending:
             self._settle(origin_url, session_id)
+
+    def fail_over_now(self, name: str) -> None:
+        """Operator-initiated (planned) parent failover.
+
+        The maintenance path: same election, promotion, feed migration
+        and budget settlement as the suspicion path, minus the detection
+        wait — so a planned parent removal costs viewers only the
+        bounded catch-up, never the silence window. The parent is marked
+        down first so no new placement or fill lands on it mid-move.
+        """
+        state = self._watched.get(name)
+        if state is None or state.relay is None:
+            raise KeyError(f"unknown or object-less edge {name!r}")
+        if not getattr(state.relay, "is_parent", False):
+            raise ValueError(f"{name!r} is not a region parent")
+        try:
+            self.directory.mark_down(name)
+        except PlacementError:
+            pass
+        self._fail_over_parent(state)
 
     # ------------------------------------------------------------------
     # introspection

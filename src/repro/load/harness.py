@@ -149,6 +149,12 @@ class LoadConfig:
     heartbeat_monitor: bool = False
     monitor_interval: float = 0.5
     monitor_miss_threshold: int = 3
+    #: >= 0 crashes ``parent_kill_region``'s parent relay that many
+    #: seconds after the tier is ready (same clock as fault-plan times)
+    #: — the scripted trigger for heartbeat-driven region failover;
+    #: requires ``regions > 0`` and (for recovery) ``heartbeat_monitor``
+    parent_kill_at: float = -1.0
+    parent_kill_region: str = "r0"
     #: shut surviving relays down after the run (settles replica sessions
     #: so post-run audits can demand an empty origin session table)
     teardown: bool = False
@@ -305,6 +311,22 @@ def run_workload(
         # "seconds after the tier is ready", never "before setup ended"
         fault_offset = sim.now
         injector.apply(cfg.fault_plan, offset=fault_offset)
+
+    parent_kill: Optional[Dict[str, Any]] = None
+    if cfg.parent_kill_at >= 0.0:
+        target = parents.get(cfg.parent_kill_region)
+        if target is None:
+            raise ValueError(
+                f"parent_kill_region {cfg.parent_kill_region!r} has no "
+                f"parent relay (regions={cfg.regions})"
+            )
+        kill_time = sim.now + cfg.parent_kill_at
+        parent_kill = {
+            "region": cfg.parent_kill_region,
+            "parent": target.name,
+            "time": kill_time,
+        }
+        sim.schedule(cfg.parent_kill_at, target.crash)
 
     def place(arrival: ViewerArrival) -> str:
         return directory.place(f"{arrival.viewer}|{arrival.lecture}")
@@ -497,9 +519,14 @@ def run_workload(
     sim.run(max_events=cfg.max_events)
     if cfg.teardown:
         # children before parents: a leaf's upstream close must reach a
-        # parent that is still serving
+        # parent that is still serving. Leaves *promoted* to acting
+        # parent during a failover go in the parent wave — their former
+        # siblings now hold upstream sessions at them.
         for relay in relays:
-            if not relay.crashed and not relay.draining:
+            if not relay.is_parent and not relay.crashed and not relay.draining:
+                relay.shutdown()
+        for relay in relays:
+            if relay.is_parent and not relay.crashed and not relay.draining:
                 relay.shutdown()
         for parent in parents.values():
             if not parent.crashed and not parent.draining:
@@ -528,6 +555,9 @@ def run_workload(
     if monitor is not None:
         control_facts["monitor"] = monitor.counters.as_dict()
         control_facts["suspicions"] = list(monitor.suspicions)
+        control_facts["failovers"] = list(monitor.failovers)
+    if parent_kill is not None:
+        control_facts["parent_kill"] = parent_kill
     if joins_deferred[0]:
         control_facts["joins_deferred"] = joins_deferred[0]
     if injector is not None:

@@ -37,6 +37,14 @@ simulator cannot enforce locally:
   region-entering ``live.feed`` per (region, point) at any time — the
   multicast tree property that makes origin live egress O(regions) —
   and every feed is ended by ``live.feed_end`` before the trace ends.
+  A region that *fell flat* during parent failover (``region.failover``
+  with ``mode="flat"``) is exempted from that point on: origin-only
+  operation legitimately runs one origin attach per leaf;
+* **failover discipline** — every ``region.failover`` is matched by a
+  ``region.failover_end`` for the same region, at which point **no live
+  feed survives its parent's crash unmigrated** (no active feed's
+  upstream is the dead host) and **no backbone reservation outlives its
+  holder** (no active reservation on a link touching the dead host).
 
 Violations accumulate (so one audit reports *all* problems) and
 :meth:`TraceChecker.assert_ok` raises :class:`TraceViolation` with every
@@ -78,6 +86,8 @@ class TraceChecker:
         self.backbone_reservations = 0
         self.backbone_releases = 0
         self.live_feeds_seen = 0
+        self.failovers_seen = 0
+        self.feeds_migrated = 0
         self._checked = False
 
     # ------------------------------------------------------------------
@@ -101,10 +111,15 @@ class TraceChecker:
         # backbone rid -> (t, link, bandwidth); load re-summed per link
         live_backbone: Dict[Any, Tuple[float, str, float]] = {}
         backbone_load: Dict[str, float] = {}
-        # live feed id -> (t, region, point, enters_region)
-        active_feeds: Dict[Any, Tuple[float, Any, Any, bool]] = {}
+        # live feed id -> (t, region, point, enters_region, upstream)
+        active_feeds: Dict[Any, Tuple[float, Any, Any, bool, Any]] = {}
         # (region, point) -> feed id currently entering that region
         region_entries: Dict[Tuple[Any, Any], Any] = {}
+        # region -> (t, dead host) for a failover still in progress
+        active_failovers: Dict[Any, Tuple[float, Any]] = {}
+        # regions that fell flat (origin-only): exempt from the
+        # one-entering-feed invariant from that point on
+        flat_regions: set = set()
 
         for record in self.records:
             name = record["name"]
@@ -319,14 +334,19 @@ class TraceChecker:
                 point = attrs.get("point")
                 enters = bool(attrs.get("enters_region"))
                 self.live_feeds_seen += 1
+                if attrs.get("migrated"):
+                    self.feeds_migrated += 1
                 if feed in active_feeds:
                     self._fail(
                         f"live feed {feed!r} started twice (t={t:.3f})"
                     )
-                active_feeds[feed] = (t, region, point, enters)
+                active_feeds[feed] = (
+                    t, region, point, enters, attrs.get("upstream")
+                )
                 # the invariant is scoped to real regions: a flat tier
-                # (region None) legitimately runs N origin attaches
-                if enters and region is not None:
+                # (region None) legitimately runs N origin attaches, and
+                # a region fallen flat by failover joins that regime
+                if enters and region is not None and region not in flat_regions:
                     key = (region, point)
                     if key in region_entries:
                         self._fail(
@@ -346,10 +366,65 @@ class TraceChecker:
                         f"{feed!r} (t={t:.3f})"
                     )
                 else:
-                    _, region, point, enters = entry
+                    _, region, point, enters, _upstream = entry
                     if enters and region is not None:
                         if region_entries.get((region, point)) == feed:
                             del region_entries[(region, point)]
+
+            elif name == "region.failover":
+                region = attrs.get("region")
+                self.failovers_seen += 1
+                if region in active_failovers:
+                    self._fail(
+                        f"region.failover for region {region!r} while an "
+                        f"earlier failover is still active (t={t:.3f})"
+                    )
+                else:
+                    active_failovers[region] = (t, attrs.get("dead_host"))
+                if attrs.get("mode") == "flat":
+                    flat_regions.add(region)
+                # either way the old regime's entry slot is gone: the
+                # dead parent ended its feed at crash time, and a merely
+                # *partitioned* parent is demoted with its entry revoked
+                # (the successor re-enters the region under a new claim)
+                region_entries = {
+                    key: feed for key, feed in region_entries.items()
+                    if key[0] != region
+                }
+
+            elif name == "region.failover_end":
+                region = attrs.get("region")
+                dead_host = attrs.get("dead_host")
+                if active_failovers.pop(region, None) is None:
+                    self._fail(
+                        f"region.failover_end for region {region!r} without "
+                        f"a matching region.failover (t={t:.3f})"
+                    )
+                    continue
+                # no feed survives its parent's crash unmigrated: every
+                # active feed fed by the dead host must have ended (and
+                # usually restarted against the new upstream) by now
+                for feed, (ft, fregion, fpoint, _e, fupstream) in sorted(
+                    active_feeds.items(), key=str
+                ):
+                    if fupstream == dead_host:
+                        self._fail(
+                            f"live feed {feed!r} (region {fregion!r}, point "
+                            f"{fpoint!r}, started t={ft:.3f}) survived the "
+                            f"crash of its upstream {dead_host!r} unmigrated "
+                            f"(t={t:.3f})"
+                        )
+                # no backbone reservation outlives its holder: links
+                # touching the dead host must be fully settled
+                for rid, (rt, link, bandwidth) in sorted(
+                    live_backbone.items(), key=str
+                ):
+                    if dead_host in str(link).split("<->"):
+                        self._fail(
+                            f"backbone reservation {rid!r} on {link} "
+                            f"({bandwidth:g} b/s, made t={rt:.3f}) outlived "
+                            f"crashed host {dead_host!r} (t={t:.3f})"
+                        )
 
             elif name == "playback.seek":
                 # a seek rebases the playhead for every stream of that client
@@ -378,11 +453,18 @@ class TraceChecker:
                 f"backbone reservation {rid!r} on {link} ({bandwidth:g} "
                 f"b/s) made at t={made_at:.3f} never released"
             )
-        for feed, (started_at, region, point, _) in sorted(
+        for feed, (started_at, region, point, _e, _u) in sorted(
             active_feeds.items(), key=str
         ):
             self._fail(
                 f"live feed {feed!r} (region {region!r}, point {point!r}) "
+                f"started at t={started_at:.3f} never ended"
+            )
+        for region, (started_at, dead_host) in sorted(
+            active_failovers.items(), key=str
+        ):
+            self._fail(
+                f"failover of region {region!r} (dead host {dead_host!r}) "
                 f"started at t={started_at:.3f} never ended"
             )
         return self.violations
@@ -411,6 +493,8 @@ class TraceChecker:
             "backbone_reservations": self.backbone_reservations,
             "backbone_releases": self.backbone_releases,
             "live_feeds_seen": self.live_feeds_seen,
+            "failovers_seen": self.failovers_seen,
+            "feeds_migrated": self.feeds_migrated,
             "violations": len(self.violations),
         }
 

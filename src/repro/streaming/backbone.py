@@ -67,6 +67,10 @@ class BackboneBudget:
         #: rid -> (link key, bandwidth, owner)
         self._reservations: Dict[str, Tuple[Tuple[str, str], float, str]] = {}
         self._reserved: Dict[Tuple[str, str], float] = {}
+        #: rids settled by a forced release; a holder's own late
+        #: ``release`` after its upstream died must be a no-op, not an
+        #: error and not a duplicate trace record
+        self._force_released: set = set()
         self._ids = itertools.count(1)
         self.rejected = 0
         self.counters = Counters("backbone-budget")
@@ -130,6 +134,13 @@ class BackboneBudget:
 
     def release(self, rid: str) -> None:
         if rid not in self._reservations:
+            if rid in self._force_released:
+                # the failover path already settled this reservation on
+                # the holder's behalf; the holder's own (late) release
+                # is tolerated so crash-time teardown stays idempotent
+                self._force_released.discard(rid)
+                self.counters.inc("late_releases")
+                return
             raise BudgetError(f"backbone reservation {rid!r} not active")
         key, bandwidth, owner = self._reservations.pop(rid)
         remaining = self._reserved.get(key, 0.0) - bandwidth
@@ -146,6 +157,37 @@ class BackboneBudget:
                 bandwidth=bandwidth,
                 owner=owner,
             )
+
+    def force_release_host(self, host: str) -> List[str]:
+        """Settle every reservation on a link touching ``host`` — the
+        safety net when a relay dies holding charges its peers can no
+        longer release through the normal burst/feed-end path. Returns
+        the settled rids. Later ``release`` calls on those rids are
+        counted no-ops (``late_releases``)."""
+        doomed = [
+            rid for rid, (key, _bw, _owner) in self._reservations.items()
+            if host in key
+        ]
+        for rid in sorted(doomed):
+            key, bandwidth, owner = self._reservations.pop(rid)
+            remaining = self._reserved.get(key, 0.0) - bandwidth
+            if remaining <= 1e-9:
+                self._reserved.pop(key, None)
+            else:
+                self._reserved[key] = remaining
+            self._force_released.add(rid)
+            self.counters.inc("releases")
+            self.counters.inc("forced_releases")
+            if self.tracer is not None:
+                self.tracer.event(
+                    "backbone.release",
+                    rid=rid,
+                    link=f"{key[0]}<->{key[1]}",
+                    bandwidth=bandwidth,
+                    owner=owner,
+                    forced=True,
+                )
+        return sorted(doomed)
 
     # ------------------------------------------------------------------
 

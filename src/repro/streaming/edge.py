@@ -437,6 +437,40 @@ class EdgeDirectory:
         name = self._parents.get(region)
         return self._entry(name).url if name is not None else None
 
+    # -- parent failover ------------------------------------------------
+
+    def elect_parent(self, region: str) -> Optional[str]:
+        """Pick the healthiest same-region leaf to promote when the
+        region's parent dies: lightest modeled load, name as the
+        deterministic tiebreak. Returns ``None`` when no leaf qualifies
+        — the region then falls flat to origin-only."""
+        candidates = [
+            entry for entry in self._edges.values()
+            if entry.placeable and entry.region == region
+            and self.can_serve_fill(entry.name)
+            and not (entry.relay is not None and entry.relay.draining)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: (e.load(), e.name)).name
+
+    def promote_parent(self, region: str, name: str) -> None:
+        """Re-point ``region``'s parent slot at ``name`` (a leaf being
+        promoted to acting parent). The promoted leaf keeps its ring
+        presence — it still serves its own viewers — it just absorbs
+        the region's fan-in on top."""
+        entry = self._entry(name)
+        if entry.region != region:
+            raise PlacementError(
+                f"cannot promote {name!r}: not in region {region!r}"
+            )
+        self._parents[region] = name
+
+    def clear_parent(self, region: str) -> None:
+        """Drop ``region``'s parent slot — the region falls flat: leaves
+        fill and attach straight to the origin until a parent rejoins."""
+        self._parents.pop(region, None)
+
     def _entry(self, name: str) -> _EdgeEntry:
         try:
             return self._edges[name]
@@ -569,7 +603,10 @@ class _UpstreamRef:
     and settle it: the base URL, the NAK datagram channel (lazy), and
     the backbone reservation it holds (if any)."""
 
-    __slots__ = ("url", "host", "session_id", "sink", "channel", "budget_rid")
+    __slots__ = (
+        "url", "host", "session_id", "sink", "channel", "budget_rid",
+        "abandoned",
+    )
 
     def __init__(
         self,
@@ -585,6 +622,9 @@ class _UpstreamRef:
         self.sink = sink
         self.channel: Optional[DatagramChannel] = None
         self.budget_rid = budget_rid
+        #: the upstream is known dead/unreachable (monitor-settled):
+        #: skip the remote close instead of stalling on a silent host
+        self.abandoned = False
 
 
 class _FillState:
@@ -724,6 +764,13 @@ class EdgeRelay(MediaServer):
         self._releasing: Set[str] = set()
         #: point -> active live feed id (for live.feed/live.feed_end)
         self._live_feeds: Dict[str, str] = {}
+        #: point -> sequences already appended to the local live stream.
+        #: The upstream deliver path is not duplicate-free: a feed
+        #: migrated after parent failover receives overlapping catch-up
+        #: history, and the same repair can be forwarded twice — the
+        #: local stream fans out to every viewer, so it must append each
+        #: sequence exactly once
+        self._live_seen: Dict[str, Set[int]] = {}
         self._feed_ids = itertools.count(1)
         #: sequences super()._repair_entry could not serve locally during
         #: the current _handle_nak call — forwarded upstream afterwards
@@ -800,6 +847,12 @@ class EdgeRelay(MediaServer):
         self.recovery_stats.inc("upstream_naks")
 
     def _close_ref(self, ref: _UpstreamRef) -> None:
+        if ref.abandoned:
+            # the monitor declared this upstream dead and settled both
+            # sides already; a close round-trip would only stall this
+            # frame on a host that cannot answer
+            self.cache.counters.inc("dead_upstream_closes_skipped")
+            return
         try:
             # a non-OK answer means the upstream already dropped the
             # session (crash wiped it) — nothing left to close either way
@@ -906,6 +959,25 @@ class EdgeRelay(MediaServer):
             return None
         return response.body
 
+    def _current_parent_url(self) -> Optional[str]:
+        """This relay's regional upstream right now, or ``None``.
+
+        The directory's parent slot wins over the constructor-time
+        ``parent_url`` so a failover promotion is picked up by every
+        leaf without reconfiguration, and a parent marked down (or a
+        region fallen flat) yields ``None`` — never a dead upstream.
+        """
+        if self.is_parent:
+            return None
+        if self.directory is not None and self.region is not None:
+            pname = self.directory.parent_name(self.region)
+            if pname is None or pname == self.name:
+                return None  # region fell flat, or we *are* the parent
+            if not self.directory.can_serve_fill(pname):
+                return None  # down/crashed parent is no upstream at all
+            return self.directory.edge_url(pname)
+        return self.parent_url
+
     def _data_sources(
         self, name: str, token: FillToken
     ) -> List[Tuple[str, str]]:
@@ -919,8 +991,9 @@ class EdgeRelay(MediaServer):
                 url = self.directory.edge_url(peer)
                 if url != self.origin_url:
                     sources.append(("sibling", url))
-        if self.parent_url and not self.is_parent:
-            sources.append(("parent", self.parent_url))
+        parent = self._current_parent_url()
+        if parent:
+            sources.append(("parent", parent))
         sources.append(("origin", self.origin_url))
         return sources
 
@@ -934,16 +1007,14 @@ class EdgeRelay(MediaServer):
         # the fill plan, and a describe is control plane — zero media
         authority = self._describe_source(self.origin_url, name, None)
         source_plan: Optional[List[Tuple[str, str]]] = None
-        if (
-            authority is None and token is None
-            and self.parent_url and not self.is_parent
-        ):
+        fallback_parent = self._current_parent_url()
+        if authority is None and token is None and fallback_parent:
             # the origin is unreachable *from here* — the regional
             # parent may still reach it, and describing the parent both
             # answers and warms it; its manifest becomes the authority
-            authority = self._describe_source(self.parent_url, name, out_token)
+            authority = self._describe_source(fallback_parent, name, out_token)
             if authority is not None:
-                source_plan = [("parent", self.parent_url)]
+                source_plan = [("parent", fallback_parent)]
         if authority is None:
             # nothing upstream can even be described — but if a previous
             # fill left the run on disk, serve stale rather than refuse
@@ -1262,11 +1333,7 @@ class EdgeRelay(MediaServer):
                 f"relay {self.name}: broadcast attach of {name!r} on "
                 f"behalf of {token.path[0]!r} refused (not a regional parent)"
             )
-        upstream_url = (
-            self.parent_url
-            if self.parent_url and not self.is_parent
-            else self.origin_url
-        )
+        upstream_url = self._current_parent_url() or self.origin_url
         out_token = (
             token.descend(self.name) if token is not None
             else FillToken((self.name,), self.fill_hop_limit)
@@ -1317,6 +1384,27 @@ class EdgeRelay(MediaServer):
     ) -> None:
         if stream.closed:
             return
+        seen = self._live_seen.setdefault(name, set())
+        if packet.sequence in seen:
+            self.cache.counters.inc("live_duplicates_dropped")
+            return
+        # a sequence jump past everything seen so far marks packets the
+        # upstream never sent us — after a feed migration the successor
+        # resumes at its own head, so the crash-to-detection gap shows
+        # up here as the first post-attach packet overshooting the
+        # contiguous tail.  NAK the hole; repairs cascade up the tree.
+        if seen:
+            tail = max(seen)
+            if packet.sequence > tail + 1:
+                gap = [
+                    s for s in range(tail + 1, packet.sequence)
+                    if s not in seen
+                ]
+                ref = self._upstream.get(name)
+                if gap and ref is not None:
+                    self._nak_upstream(ref, gap)
+                    self.cache.counters.inc("live_gap_naks", len(gap))
+        seen.add(packet.sequence)
         stream.append([packet])
         if self.live_history_seconds > 0.0:
             self.cache.append_live(
@@ -1422,6 +1510,7 @@ class EdgeRelay(MediaServer):
         if not nested:
             self._close_upstream(name)
             self.cache.drop_live(name)
+            self._live_seen.pop(name, None)
 
     def _close_upstream(self, point: str) -> None:
         ref = self._upstream.pop(point, None)
@@ -1594,6 +1683,138 @@ class EdgeRelay(MediaServer):
         return orphans
 
     # ------------------------------------------------------------------
+    # region parent failover (downstream side)
+    # ------------------------------------------------------------------
+
+    def upstream_crashed(
+        self, dead_url: str, *, migrate_to: Optional[str] = None
+    ) -> Dict[str, int]:
+        """Settle every reference this relay holds *at* a dead upstream.
+
+        The downstream direction of orphan settlement, driven by the
+        heartbeat monitor at suspicion time: in-flight fills through the
+        dead upstream abort immediately (their drivers re-plan through
+        the sibling → origin cascade on their own stack frame), live
+        feeds re-attach to ``migrate_to`` — the promoted parent or the
+        origin — keeping the local stream and its viewers' clocks
+        untouched, and plain replica refs are simply settled (the dead
+        upstream's session table died with it, so there is nothing to
+        close remotely). ``migrate_to=None`` drops migrated-less live
+        points instead; viewers reconnect via their stall watchdogs.
+        """
+        dead_url = dead_url.rstrip("/")
+        out = {
+            "fills_aborted": 0, "feeds_migrated": 0,
+            "feeds_dropped": 0, "refs_settled": 0,
+        }
+        if self.crashed:
+            return out
+        driving: Set[str] = set()
+        for point, fill in self._fills.items():
+            ref = self._upstream.get(point)
+            if ref is not None and ref.url == dead_url and not fill.done:
+                # the driver frame owns this ref's teardown: flagging the
+                # attempt failed breaks its re-entrant wait loop, which
+                # releases the budget and moves to the next plan source
+                # (skipping the close round-trip — a silent host would
+                # stall the driver for a full fetch timeout)
+                fill.attempt_failed = True
+                ref.abandoned = True
+                driving.add(point)
+                out["fills_aborted"] += 1
+                self.cache.counters.inc("fill_upstream_crashed")
+        for point, ref in list(self._upstream.items()):
+            if ref.url != dead_url or point in driving:
+                continue
+            del self._upstream[point]
+            self._release_budget(ref)
+            out["refs_settled"] += 1
+            if point not in self._live_feeds:
+                continue  # register-only replica: the cached copy serves on
+            self._end_live_feed(point)
+            migrated = (
+                migrate_to is not None
+                and point in self.points
+                and self._reattach_live(point, migrate_to)
+            )
+            if migrated:
+                out["feeds_migrated"] += 1
+            elif point in self.points:
+                out["feeds_dropped"] += 1
+                self.unpublish(point)
+        return out
+
+    def _reattach_live(self, point: str, new_url: str) -> bool:
+        """Re-attach one live feed to a new upstream after the old died.
+
+        Mirrors the ``/control/adopt`` warm-drain contract from the
+        other side: the locally published stream — and with it every
+        attached viewer's clock, buffer and pacing group — is untouched;
+        only the upstream leg is rebuilt. The new upstream's bounded
+        live history covers the detection gap as a catch-up train and
+        NAK forwarding repairs the rest.
+        """
+        new_url = new_url.rstrip("/")
+        point_obj = self.points.get(point)
+        if point_obj is None or not point_obj.broadcast:
+            return False
+        stream = point_obj.content
+        upstream_host = urlparse(new_url).hostname
+        rid: Optional[str] = None
+        if self.backbone is not None:
+            try:
+                rid = self.backbone.reserve(
+                    (self.host, upstream_host or new_url),
+                    max(float(stream.header.total_bitrate), 1.0),
+                    owner=f"{self.name}:{point}:live",
+                )
+            except BudgetError:
+                self.cache.counters.inc("feed_migration_budget_refused")
+                return False
+        token = FillToken((self.name,), self.fill_hop_limit)
+        try:
+            ref = self._open_upstream(
+                new_url, point,
+                functools.partial(self._on_broadcast_packet, point, stream),
+                token=token, budget_rid=rid,
+            )
+            self._upstream[point] = ref
+            self._control_at(new_url, "play", session_id=ref.session_id)
+        except (HTTPError, PublishError):
+            if rid is not None and self.backbone is not None:
+                self.backbone.release(rid)
+            self._upstream.pop(point, None)
+            self.cache.counters.inc("feed_migration_failed")
+            return False
+        feed_id = f"{self.name}:{point}#{next(self._feed_ids)}"
+        self._live_feeds[point] = feed_id
+        self.cache.counters.inc("live_feeds_migrated")
+        if self.tracer is not None:
+            self.tracer.event(
+                "live.feed",
+                feed=feed_id,
+                edge=self.name,
+                region=self.region,
+                point=point,
+                upstream=upstream_host,
+                enters_region=new_url == self.origin_url,
+                migrated=True,
+            )
+        # gap repair: the catch-up train (served re-entrantly inside the
+        # play round-trip above) covers the new upstream's bounded
+        # history, but the detection window may be wider — NAK whatever
+        # sequence holes remain so the repair cascades up the tree (the
+        # new upstream forwards what it lacks itself) and the local
+        # stream stays complete for every attached viewer
+        seen = self._live_seen.get(point)
+        if seen:
+            holes = [s for s in range(min(seen), max(seen)) if s not in seen]
+            if holes:
+                self._nak_upstream(ref, holes)
+                self.cache.counters.inc("migration_gap_naks", len(holes))
+        return True
+
+    # ------------------------------------------------------------------
     # faults (mirrors the origin MediaServer API)
     # ------------------------------------------------------------------
 
@@ -1621,6 +1842,7 @@ class EdgeRelay(MediaServer):
                 super().unpublish(name)
             finally:
                 self._releasing.discard(name)
+        self._live_seen.clear()
 
     def restart(self) -> None:
         super().restart()

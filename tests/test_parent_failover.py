@@ -1,0 +1,508 @@
+"""Region parent failover: re-parent, migrate live feeds, plug leaks.
+
+PR 8's relay tree routes everything regional through one parent relay —
+a single point of failure per region. The failover contract under test:
+
+* a parent crash is **detected** (heartbeat suspicion), never declared:
+  within the detection bound the directory promotes the healthiest
+  surviving leaf to acting parent and every other leaf re-attaches its
+  live feed to the new upstream — the locally published stream, and
+  with it every viewer's clock and buffer, is untouched, and sequence
+  holes from the detection gap heal through gap-NAK repair up the tree;
+* an in-flight **fill** through the dead parent aborts at suspicion
+  time (not after its 30 s timeout) and re-plans through the
+  sibling → origin cascade — the viewer still gets byte-identical
+  content;
+* when **no leaf qualifies** as successor the region falls *flat*:
+  the parent slot is cleared and leaves work straight against the
+  origin (each origin attach is exempted from the one-feed-per-region
+  invariant from that point on);
+* every :class:`BackboneBudget` reservation on the dead parent's links
+  is settled at suspicion time — ``assert_no_leaks`` holds immediately
+  after detection, not just at teardown (forced release + tolerated
+  late release by the aborted holder);
+* the crashed parent's *own* sessions at the origin are settled
+  (upstream direction, PR 7) **and** what surviving leaves held at the
+  parent is settled too (downstream direction, this PR);
+* the whole sequence is audited end to end by :class:`TraceChecker`'s
+  new failover invariants (``region.failover`` discipline, no feed
+  survives its parent's crash unmigrated, no reservation outlives its
+  holder) for seeds 0–2, plus a 100k-viewer harness run with a
+  scripted parent kill (``CHAOS_SCALE_VIEWERS`` shrinks it for CI).
+"""
+
+import os
+
+import pytest
+
+from repro.asf import ASFEncoder, EncoderConfig, slide_commands
+from repro.control import HeartbeatMonitor
+from repro.load import LoadConfig, WorkloadSpec, lecture_catalog, run_workload
+from repro.lod import LiveCaptureSession
+from repro.media import AudioObject, ImageObject, VideoObject, get_profile
+from repro.metrics.counters import get_counters, reset_counters
+from repro.net import FaultInjector, FaultPlan
+from repro.obs import TraceChecker, Tracer
+from repro.streaming import (
+    BackboneBudget,
+    BudgetError,
+    MediaServer,
+    build_relay_tree,
+)
+from repro.web import VirtualNetwork
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+VIEWERS = int(os.environ.get("CHAOS_SCALE_VIEWERS", "100000"))
+PROFILE = get_profile("dsl-256k")
+DURATION = 8.0
+
+INTERVAL = 0.5
+MISS = 3
+#: suspicion lands at most one threshold + one sweep after the last
+#: pre-crash beat (the bound test_control_plane proves for detection);
+#: failover runs synchronously inside the suspicion sweep
+DETECTION_BOUND = MISS * INTERVAL + 2 * INTERVAL + 0.01
+
+
+def make_asf(file_id="lec", duration=DURATION):
+    return ASFEncoder(EncoderConfig(profile=PROFILE)).encode_file(
+        file_id=file_id,
+        video=VideoObject("talk", duration, width=320, height=240, fps=10),
+        audio=AudioObject("voice", duration),
+        images=[(ImageObject("s0", duration, width=320, height=240), 0.0)],
+        commands=slide_commands([("s0", 0.0)]),
+    )
+
+
+def make_tree(
+    *, seed=CHAOS_SEED, tracer=None, budget=None, fill_burst=64.0,
+    live=False, monitor=True,
+):
+    """One region, two leaves, a parent, optionally a live capture and
+    an armed heartbeat monitor — the smallest failover-capable tree."""
+    reset_counters("edge_cache")
+    net = VirtualNetwork()
+    if tracer is not None:
+        tracer.bind_clock(net.simulator)
+        net.simulator.tracer = tracer
+    origin = MediaServer(
+        net, "origin", port=8080, pacing_quantum=0.5,
+        trace_label="origin", tracer=tracer,
+    )
+    capture = None
+    if live:
+        capture = LiveCaptureSession(
+            net.simulator, get_profile("isdn-dual"), chunk=0.5
+        )
+        origin.publish("live", capture.stream)
+    else:
+        origin.publish("lecture", make_asf())
+    directory, parents, leaves = build_relay_tree(
+        net, origin, {"r0": ["e0", "e1"]},
+        pacing_quantum=0.5, seed=seed, fill_burst=fill_burst,
+        backbone_budget=budget, tracer=tracer,
+    )
+    for leaf in leaves:
+        net.connect(leaf.host, "viewer", bandwidth=2_000_000, delay=0.02)
+    mon = None
+    if monitor:
+        mon = HeartbeatMonitor(
+            net, directory,
+            interval=INTERVAL, miss_threshold=MISS,
+            seed=seed, tracer=tracer,
+        )
+        mon.watch_directory()
+        mon.start()
+    return net, origin, directory, parents, leaves, mon, capture
+
+
+def blob_of(packets):
+    return b"".join(p.pack() for p in packets)
+
+
+class TestLiveFeedMigration:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_parent_crash_migrates_live_feeds_within_detection_bound(
+        self, seed
+    ):
+        tracer = Tracer("failover-live")
+        budget = BackboneBudget(tracer=tracer)
+        net, origin, directory, parents, leaves, monitor, capture = \
+            make_tree(seed=seed, tracer=tracer, budget=budget, live=True)
+        parent = parents["r0"]
+
+        sinks, sessions = {}, {}
+        for leaf in leaves:
+            sink = []
+            sessions[leaf.name] = leaf.open_session(
+                "live", "viewer", sink.append
+            )
+            leaf.play(sessions[leaf.name].session_id)
+            sinks[leaf.name] = sink
+        net.simulator.run_until(3.0)
+
+        crash_at = net.simulator.now
+        parent.crash()
+        net.simulator.run_until(crash_at + DETECTION_BOUND + 0.5)
+
+        # one failover, promoting a leaf; the slot answers the successor
+        assert len(monitor.failovers) == 1
+        failover = monitor.failovers[0]
+        assert failover["mode"] == "promote"
+        successor = failover["successor"]
+        assert directory.parent_name("r0") == successor
+        promoted = next(l for l in leaves if l.name == successor)
+        assert promoted.is_parent
+        # within the bound: detection + promotion + every feed migrated
+        assert failover["time"] - crash_at <= DETECTION_BOUND
+        # the promoted leaf re-enters from the origin, its sibling from
+        # the promoted leaf — both feeds moved, none dropped
+        assert failover["feeds_migrated"] == 2
+        assert failover["feeds_dropped"] == 0
+        counters = get_counters("edge_cache")
+        assert counters["live_feeds_migrated"] == 2
+        # the dead parent's links are settled *at detection time*, not
+        # teardown; what remains reserved belongs to the migrated feeds
+        for leaf in leaves:
+            assert budget.reserved((leaf.host, parent.host)) == 0.0
+        assert budget.reserved((parent.host, origin.host)) == 0.0
+
+        net.simulator.run_until(net.simulator.now + 1.5)
+        capture.finish()
+        monitor.stop()
+        net.simulator.run(max_events=5_000_000)
+
+        # every viewer saw the whole broadcast exactly once: the local
+        # stream's clock never moved, catch-up covered the gap, and
+        # gap-NAK repair healed what history did not
+        sent = {p.sequence for p in capture.stream.packets}
+        for name, got_packets in sinks.items():
+            got = [p.sequence for p in got_packets]
+            assert len(got) == len(set(got)), f"{name} saw duplicates"
+            assert set(got) == sent, f"{name} missed live packets"
+
+        for leaf in leaves:
+            leaf.close_session(sessions[leaf.name].session_id)
+        net.simulator.run(max_events=1_000_000)
+        for leaf in leaves:
+            if not leaf.is_parent:
+                leaf.shutdown()
+        promoted.shutdown()
+        net.simulator.run(max_events=1_000_000)
+        budget.assert_no_leaks()
+        checker = TraceChecker(tracer.records).assert_ok()
+        assert checker.failovers_seen == 1
+        assert checker.feeds_migrated == 2
+        assert len(origin.sessions) == 0
+
+
+class TestFillReplanOnParentLoss:
+    def test_fill_through_silent_parent_aborts_and_replans_via_origin(self):
+        budget = BackboneBudget()
+        # A *crashed* source fails fast (its sessions 503) and the fill
+        # cascade recovers on its own.  The monitor earns its keep when
+        # the parent goes **silent** — a partition black-holes both the
+        # data path and the beacons, the fill stalls mid-transfer, and
+        # only the suspicion sweep can abort it before the 30 s fill
+        # timeout.  fill_burst=2 stretches the burst so the partition
+        # reliably lands mid-transfer.
+        net, origin, directory, parents, leaves, monitor, _ = make_tree(
+            budget=budget, fill_burst=2.0,
+        )
+        parent = parents["r0"]
+        e0, e1 = leaves
+        net.simulator.run_until(1.0)  # monitor learns the healthy cadence
+        # warm the parent through the cascade, then evict the sibling
+        # copy so the parent is e1's only non-origin source
+        e0.prefetch("lecture")
+        e0.unpublish("lecture")
+        directory.forget_fill("e0", "lecture")
+
+        injector = FaultInjector(net)
+        plan = FaultPlan("silent-parent")
+        # mid-burst: the open/play round-trips are done, packets flowing
+        plan.link_down(e1.host, parent.host, at=net.simulator.now + 0.15)
+        plan.link_down(parent.host, monitor.host, at=net.simulator.now + 0.15)
+        injector.apply(plan)
+        start = net.simulator.now
+        e1.prefetch("lecture")
+        elapsed = net.simulator.now - start
+
+        # the fill landed byte-identical despite the stalled first try
+        assert "lecture" in e1.points
+        assert blob_of(e1.points["lecture"].content.packets) == \
+            blob_of(origin.points["lecture"].content.packets)
+        counters = get_counters("edge_cache")
+        # the parent attempt was aborted by the monitor at suspicion
+        # time, not by the 30 s fill timeout, and re-planned via origin
+        assert counters["fill_upstream_crashed"] >= 1
+        assert counters["origin_fills"] == 2  # parent warm-up + re-plan
+        assert counters["dead_upstream_closes_skipped"] >= 1
+        assert elapsed < DETECTION_BOUND + 2.0
+        assert monitor.failovers[0]["fills_aborted"] == 1
+        assert monitor.counters.get("failovers", 0) == 1
+        budget.assert_no_leaks()
+
+        monitor.stop()
+        for leaf in leaves:
+            if not leaf.crashed:
+                leaf.shutdown()
+        # the old parent is alive (merely partitioned) and demoted; its
+        # own shutdown settles whatever it still holds at the origin
+        parent.shutdown()
+        net.simulator.run(max_events=1_000_000)
+        assert len(origin.sessions) == 0
+
+
+class TestFallFlat:
+    def test_no_eligible_successor_falls_region_flat_to_origin(self):
+        tracer = Tracer("failover-flat")
+        budget = BackboneBudget(tracer=tracer)
+        net, origin, directory, parents, leaves, monitor, capture = \
+            make_tree(tracer=tracer, budget=budget, live=True)
+        parent = parents["r0"]
+
+        sinks, sessions = {}, {}
+        for leaf in leaves:
+            sink = []
+            sessions[leaf.name] = leaf.open_session(
+                "live", "viewer", sink.append
+            )
+            leaf.play(sessions[leaf.name].session_id)
+            sinks[leaf.name] = sink
+
+        # partition every leaf's beacon path: both leaves stay alive and
+        # streaming, but the monitor (correctly) counts neither as an
+        # eligible successor when the parent dies
+        injector = FaultInjector(net)
+        plan = FaultPlan("isolate-beacons")
+        for leaf in leaves:
+            plan.link_down(leaf.host, monitor.host, at=0.5)
+        injector.apply(plan)
+        net.simulator.run_until(4.0)
+        assert all(monitor.is_suspected(l.name) for l in leaves)
+
+        crash_at = net.simulator.now
+        parent.crash()
+        net.simulator.run_until(crash_at + DETECTION_BOUND + 0.5)
+
+        assert len(monitor.failovers) == 1
+        failover = monitor.failovers[0]
+        assert failover["mode"] == "flat"
+        assert failover["successor"] is None
+        assert directory.parent_name("r0") is None
+        assert not any(l.is_parent for l in leaves)
+        # both (alive, merely unreachable-to-the-monitor) leaves took
+        # their feeds straight to the origin
+        assert failover["feeds_migrated"] == 2
+        for leaf in leaves:
+            assert budget.reserved((leaf.host, parent.host)) == 0.0
+        assert budget.reserved((parent.host, origin.host)) == 0.0
+
+        net.simulator.run_until(net.simulator.now + 1.5)
+        capture.finish()
+        monitor.stop()
+        net.simulator.run(max_events=5_000_000)
+        sent = {p.sequence for p in capture.stream.packets}
+        for name, got_packets in sinks.items():
+            got = [p.sequence for p in got_packets]
+            assert len(got) == len(set(got)), f"{name} saw duplicates"
+            assert set(got) == sent, f"{name} missed live packets"
+
+        for leaf in leaves:
+            leaf.close_session(sessions[leaf.name].session_id)
+        for leaf in leaves:
+            leaf.shutdown()
+        net.simulator.run(max_events=1_000_000)
+        budget.assert_no_leaks()
+        # two origin-entering feeds in one region would violate the tree
+        # invariant — the flat-region exemption makes the audit pass
+        checker = TraceChecker(tracer.records).assert_ok()
+        assert checker.failovers_seen == 1
+        assert len(origin.sessions) == 0
+
+
+class TestBudgetForcedRelease:
+    def test_force_release_host_settles_only_that_hosts_links(self):
+        budget = BackboneBudget()
+        doomed_a = budget.reserve(("e0", "r0-parent"), 100.0, owner="e0:live")
+        doomed_b = budget.reserve(("r0-parent", "origin"), 200.0, owner="p")
+        kept = budget.reserve(("e1", "origin"), 300.0, owner="e1:vod")
+
+        released = budget.force_release_host("r0-parent")
+        assert sorted(released) == sorted([doomed_a, doomed_b])
+        assert budget.counters["forced_releases"] == 2
+        assert budget.reserved(("e0", "r0-parent")) == 0.0
+        assert budget.reserved(("e1", "origin")) == 300.0
+
+        # the holder's own (late) release of a force-settled rid is a
+        # tolerated, counted no-op — crash teardown stays idempotent
+        budget.release(doomed_a)
+        assert budget.counters["late_releases"] == 1
+        # but only once: a second release is the usual misuse error
+        with pytest.raises(BudgetError):
+            budget.release(doomed_a)
+        budget.release(kept)
+        budget.assert_no_leaks()
+
+    def test_no_leak_after_scripted_parent_crash_mid_live_feed(self):
+        budget = BackboneBudget()
+        net, origin, directory, parents, leaves, monitor, capture = \
+            make_tree(budget=budget, live=True)
+        sessions = [
+            leaf.open_session("live", "viewer", lambda p: None)
+            for leaf in leaves
+        ]
+        for leaf, session in zip(leaves, sessions):
+            leaf.play(session.session_id)
+        net.simulator.run_until(2.0)
+        # live reservations are held for the feed lifetime: leaf→parent
+        # and parent→origin links are charged right now
+        assert len(budget.active()) == 3
+
+        parent = parents["r0"]
+        parent.crash()
+        net.simulator.run_until(2.0 + DETECTION_BOUND + 0.5)
+        # the regression: before forced release the dead parent's link
+        # reservations leaked until a restart that may never come; now
+        # suspicion settles every one of them
+        for leaf in leaves:
+            assert budget.reserved((leaf.host, parent.host)) == 0.0
+        assert budget.reserved((parent.host, origin.host)) == 0.0
+
+        monitor.stop()
+        capture.finish()
+        net.simulator.run(max_events=5_000_000)
+        for leaf in leaves:
+            leaf.shutdown()
+        net.simulator.run(max_events=1_000_000)
+        budget.assert_no_leaks()
+
+
+class TestDownstreamSettlement:
+    def test_leaf_refs_at_dead_parent_are_settled_at_suspicion(self):
+        net, origin, directory, parents, leaves, monitor, _ = make_tree()
+        parent = parents["r0"]
+        e0, e1 = leaves
+        e0.prefetch("lecture")  # warms the parent, fills e0 through it
+        assert "lecture" in e0._upstream  # replica ref held at a source
+        held_at_parent = [
+            point for point, ref in e0._upstream.items()
+            if ref.host == parent.host
+        ]
+        net.simulator.run_until(1.0)
+
+        parent.crash()
+        net.simulator.run_until(1.0 + DETECTION_BOUND + 0.5)
+
+        # the downstream direction: whatever e0 held *at* the parent is
+        # settled the moment suspicion fires — no lingering dead refs
+        for point in held_at_parent:
+            assert point not in e0._upstream
+        if held_at_parent:
+            assert monitor.counters.get("downstream_settled", 0) >= 1
+        # the cached copy keeps serving locally
+        assert "lecture" in e0.points
+
+        monitor.stop()
+        for leaf in leaves:
+            leaf.shutdown()
+        net.simulator.run(max_events=1_000_000)
+        assert len(origin.sessions) == 0
+
+
+class TestDownParentAdmission:
+    def test_down_parent_is_no_fill_source_and_no_upstream(self):
+        net, origin, directory, parents, leaves, _, _ = make_tree(
+            monitor=False
+        )
+        parent_name = directory.parent_name("r0")
+        e0, e1 = leaves
+        e0.prefetch("lecture")  # parent now holds the run too
+        directory.mark_down(parent_name)
+
+        # a down parent answers no holder query and is nobody's upstream
+        assert parent_name not in directory.fill_sources("e1", "lecture")
+        assert e1._current_parent_url() is None
+        plan = e1._data_sources(
+            "lecture", __import__(
+                "repro.streaming.edge", fromlist=["FillToken"]
+            ).FillToken(("e1",), 3),
+        )
+        assert all(kind != "parent" for kind, _ in plan)
+        # ...and the fill still lands (sibling first, origin as backstop)
+        e1.prefetch("lecture")
+        assert "lecture" in e1.points
+
+        directory.mark_up(parent_name)
+        for leaf in leaves:
+            leaf.shutdown()
+        parents["r0"].shutdown()
+        net.simulator.run(max_events=1_000_000)
+
+    def test_relays_consumers_survive_parent_removal(self):
+        net, origin, directory, parents, leaves, monitor, _ = make_tree()
+        parent_name = directory.parent_name("r0")
+        directory.remove_edge(parent_name)
+        assert directory.parent_name("r0") is None
+
+        # the fault injector re-registers from relays() without KeyError
+        injector = FaultInjector(net)
+        injector.register_directory(directory)
+        # the monitor still watches the removed relay; a suspicion (or a
+        # late rejoin beat) must not explode on the missing entry
+        parents["r0"].crash()
+        net.simulator.run_until(DETECTION_BOUND + 1.0)
+        assert monitor.is_suspected(parent_name)
+
+        monitor.stop()
+        for leaf in leaves:
+            leaf.shutdown()
+        net.simulator.run(max_events=1_000_000)
+
+
+class TestHarnessParentKill:
+    def test_100k_live_flash_crowd_survives_parent_kill(self):
+        tracer = Tracer("failover-scale")
+        budget = BackboneBudget(tracer=tracer)
+        result = run_workload(
+            WorkloadSpec(
+                viewers=VIEWERS,
+                lectures=lecture_catalog(1, 12.0, live_fraction=1.0),
+                seed=CHAOS_SEED,
+                flash_fraction=1.0,
+                flash_width=2.0,
+            ),
+            mode="cohort",
+            config=LoadConfig(
+                edges=8,
+                regions=2,
+                live_capture=True,
+                backbone_budget=budget,
+                heartbeat_monitor=True,
+                parent_kill_at=4.0,
+                parent_kill_region="r0",
+                tracer=tracer,
+                teardown=True,
+            ),
+        )
+        assert result.viewers == VIEWERS
+        # exactly one failover, promoting a leaf of the killed region
+        failovers = result.control["failovers"]
+        assert len(failovers) == 1
+        assert failovers[0]["region"] == "r0"
+        assert failovers[0]["mode"] == "promote"
+        assert failovers[0]["feeds_dropped"] == 0
+        kill = result.control["parent_kill"]
+        assert failovers[0]["time"] - kill["time"] <= DETECTION_BOUND
+        # every live leaf of r0 migrated (3 leaves + the promoted one)
+        assert failovers[0]["feeds_migrated"] == 4
+        # zero leaks the moment the run ends, full audit passes
+        budget.assert_no_leaks()
+        checker = TraceChecker(tracer.records).assert_ok()
+        assert checker.failovers_seen == 1
+        assert checker.feeds_migrated == 4
+        assert checker.sessions_opened == checker.sessions_closed
+        # origin live egress: one feed per region, plus the promoted
+        # leaf's re-entry after the kill
+        assert result.control["origin"]["sessions_created"] == 3
