@@ -1,0 +1,414 @@
+"""Predictive-cache bench — prefetch warming, scan resistance, invalidation.
+
+Quantifies the content-aware cache layer end to end and emits
+``BENCH_cache_predict.json`` at the repo root:
+
+* **flash_warm** — a multi-region flash crowd served three ways: cold
+  (no warming), planner-warmed wave 1 (the :class:`PrefetchPlanner`
+  pulls every scheduled lecture onto the region parents before its
+  start time), and wave 2 riding the same warm tier. The headline
+  acceptance: the warmed wave's *viewer-window* origin egress (total
+  minus the egress the prefetch itself paid) is at most 2× wave 2's —
+  the cold-fill cost moved out of the viewer window entirely;
+* **scan_resistance** — a 50-lecture sequential catalog scan against a
+  hot-set-loaded cache, LRU vs TinyLFU admission: TinyLFU must retain
+  ≥90% of the hot set where plain LRU drops below 50%;
+* **republish_invalidation** — a ``replace=True`` grid republish over a
+  relay tree with every edge holding the point: the push reaches every
+  holder, the refill costs exactly one origin egress per region (leaves
+  refill intra-region off their parent), and no stale byte survives the
+  invalidation instant — refilled runs are byte-identical to the new
+  origin generation.
+
+Every serving-tier run is traced and audited by :class:`TraceChecker`,
+including the prefetch invariants (spans match, warmed bytes within the
+declared budget and byte-identical to origin, no prefetch of retired
+points). ``BENCH_CACHE_SMOKE=1`` shrinks to one seed and a small tier
+for CI (<60 s).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from benchmarks._harness import run_once
+
+from repro.asf import ASFEncoder, EncoderConfig, slide_commands
+from repro.catalog import CatalogIndex, PrefetchConfig, TinyLFUAdmission
+from repro.lod import Lecture, LODPublisher
+from repro.load import LoadConfig, WorkloadSpec, lecture_catalog, run_workload
+from repro.media import AudioObject, ImageObject, VideoObject, get_profile
+from repro.metrics import format_table
+from repro.metrics.counters import Counters, get_counters, reset_counters
+from repro.obs import TraceChecker, Tracer
+from repro.streaming import MediaServer, build_relay_tree
+from repro.streaming.edge import PacketRunCache
+from repro.web import VirtualNetwork
+
+SMOKE = bool(os.environ.get("BENCH_CACHE_SMOKE"))
+SEEDS = [0] if SMOKE else [0, 1, 2]
+
+EDGES = 8 if SMOKE else 64
+REGIONS = 2 if SMOKE else 4
+VIEWERS = 400 if SMOKE else 1500
+LECTURES = 4 if SMOKE else 8
+LECTURE_S = 20.0
+STAGGER = 5.0
+LEAD_TIME = 3.0
+
+
+# ----------------------------------------------------------------------
+# section 1: flash crowd, cold vs prefetch-warmed
+# ----------------------------------------------------------------------
+
+def flash_spec(seed):
+    return WorkloadSpec(
+        viewers=VIEWERS,
+        lectures=lecture_catalog(LECTURES, LECTURE_S, stagger=STAGGER),
+        seed=seed,
+        zipf_s=1.1,
+        flash_fraction=0.7,
+        flash_width=2.0,
+        join_quantum=0.5,
+    )
+
+
+def flash_config(*, prefetch, tracer=None, client_prefix=""):
+    return LoadConfig(
+        edges=EDGES,
+        regions=REGIONS,
+        prefetch=prefetch,
+        cache_admission=True,
+        teardown=True,
+        tracer=tracer,
+        client_prefix=client_prefix,
+    )
+
+
+def measure_flash_warm(seed):
+    spec = flash_spec(seed)
+
+    # cold baseline: every region parent fills inside the viewer window
+    cold_tracer = Tracer("bench-cache-cold")
+    cold = run_workload(
+        spec, mode="cohort",
+        config=flash_config(prefetch=False, tracer=cold_tracer),
+    )
+    TraceChecker(cold_tracer.records).assert_ok()
+    cold_origin = cold.control["origin"]["bytes_served"]
+
+    # warmed wave 1 + wave 2 share one tier and one audited trace
+    tracer = Tracer("bench-cache-warm")
+    wave1 = run_workload(
+        spec, mode="cohort",
+        config=flash_config(
+            prefetch=PrefetchConfig(lead_time=LEAD_TIME), tracer=tracer,
+        ),
+        keep_tier=True,
+    )
+    wave2 = run_workload(
+        spec, mode="cohort",
+        config=flash_config(
+            prefetch=PrefetchConfig(lead_time=LEAD_TIME), tracer=tracer,
+            client_prefix="w2-",
+        ),
+        tier=wave1.tier,
+    )
+    checker = TraceChecker(tracer.records).assert_ok()
+
+    w1 = wave1.control
+    w2 = wave2.control
+    w1_viewer = (
+        w1["origin"]["bytes_served"] - w1["prefetch"]["origin_egress_bytes"]
+    )
+    w2_viewer = (
+        w2["origin"]["bytes_served"] - w2["prefetch"]["origin_egress_bytes"]
+    )
+    return {
+        "viewers": wave1.viewers,
+        "cold_origin_bytes": cold_origin,
+        "warm_w1_origin_bytes": w1["origin"]["bytes_served"],
+        "warm_w1_prefetch_bytes": w1["prefetch"]["origin_egress_bytes"],
+        "warm_w1_viewer_window_bytes": w1_viewer,
+        "warm_w2_viewer_window_bytes": w2_viewer,
+        "prefetch_items": w1["prefetch"]["items"] + w2["prefetch"]["items"],
+        "prefetch_ok": w1["prefetch"]["ok"] + w2["prefetch"]["ok"],
+        "warmed_bytes": w1["prefetch"]["warmed_bytes"],
+        # None = the warmed wave paid zero in-window (ratio unbounded)
+        "cold_vs_warm_viewer_ratio": (
+            cold_origin / w1_viewer if w1_viewer else None
+        ),
+        "qoe_cold_startup_p90": cold.qoe.get("startup_delay", {}).get("p90"),
+        "qoe_warm_startup_p90": wave1.qoe.get("startup_delay", {}).get("p90"),
+        "prefetch_spans_audited": checker.prefetch_spans,
+        "events": wave1.events_processed + wave2.events_processed,
+    }
+
+
+# ----------------------------------------------------------------------
+# section 2: sequential catalog scan vs the hot set
+# ----------------------------------------------------------------------
+
+SCAN_CATALOG = 50
+HOT_SET = 10
+CACHE_SLOTS = 12  # budget holds the hot set plus a little slack
+
+
+def small_asf(name):
+    return ASFEncoder(
+        EncoderConfig(profile=get_profile("modem-56k"))
+    ).encode_file(
+        file_id=name,
+        video=VideoObject("talk", 4.0, width=160, height=120, fps=5),
+        audio=AudioObject("voice", 4.0),
+        images=[(ImageObject("s0", 4.0, width=160, height=120), 0.0)],
+        commands=slide_commands([("s0", 0.0)]),
+    )
+
+
+def measure_scan(seed, *, tinylfu):
+    counters = Counters()
+    runs = {f"scan{i}": small_asf(f"scan{i}") for i in range(SCAN_CATALOG)}
+    keys = {name: asf.fingerprint() for name, asf in runs.items()}
+    size = len(runs["scan0"].header.pack()) + sum(
+        len(b) for b in runs["scan0"].packed_packets()
+    )
+    admission = (
+        TinyLFUAdmission(seed=seed, width=1024, counters=counters)
+        if tinylfu else None
+    )
+    cache = PacketRunCache(
+        max_bytes=size * CACHE_SLOTS + size // 2,
+        counters=counters,
+        admission=admission,
+    )
+
+    hot = [f"scan{i}" for i in range(HOT_SET)]
+    for name in hot:
+        cache.store(keys[name], runs[name])
+    # the hot set earns its keep: several rounds of real traffic
+    for _ in range(6):
+        for name in hot:
+            cache.lookup(keys[name])
+
+    # one-shot sequential scan of the whole catalog
+    for i in range(SCAN_CATALOG):
+        name = f"scan{i}"
+        if cache.lookup(keys[name]) is None:
+            cache.store(keys[name], runs[name])
+
+    retained = sum(1 for name in hot if keys[name] in cache)
+    hits_before = counters["hits"]
+    for name in hot:
+        cache.lookup(keys[name])
+    hot_hits = counters["hits"] - hits_before
+    return {
+        "policy": "tinylfu" if tinylfu else "lru",
+        "hot_set": HOT_SET,
+        "hot_retained": retained,
+        "hot_retention": retained / HOT_SET,
+        "hot_hit_rate_after_scan": hot_hits / HOT_SET,
+        "admission_rejected": counters["admission_rejected"],
+        "evictions": counters["evictions"],
+    }
+
+
+# ----------------------------------------------------------------------
+# section 3: republish invalidation over the relay tree
+# ----------------------------------------------------------------------
+
+INV_POINT = "qt-l1-dsl-256k"
+
+
+def inv_lecture(durations=(12, 8, 10, 6)):
+    return Lecture.from_slide_durations(
+        "Queueing Theory", "Prof", list(durations),
+        importances=[0, 1, 0, 1], slide_width=160, slide_height=120,
+    )
+
+
+def measure_invalidation(seed):
+    reset_counters("edge_cache")
+    tracer = Tracer("bench-cache-inv")
+    net = VirtualNetwork()
+    tracer.bind_clock(net.simulator)
+    origin = MediaServer(
+        net, "origin", port=8080, pacing_quantum=0.5,
+        trace_label="origin", tracer=tracer,
+    )
+    regions = {f"r{i}": [f"r{i}e0", f"r{i}e1"] for i in range(REGIONS)}
+    directory, parents, leaves = build_relay_tree(
+        net, origin, regions,
+        pacing_quantum=0.5, seed=seed, tracer=tracer,
+    )
+    catalog = CatalogIndex()
+    publisher = LODPublisher(
+        origin, renditions=[get_profile("dsl-256k")],
+        edge_directory=directory, catalog=catalog, tracer=tracer,
+    )
+    publisher.publish(inv_lecture(), "qt", levels=[1])
+    old_key = origin.points[INV_POINT].content.fingerprint()
+
+    relays = list(parents.values()) + list(leaves)
+    for relay in relays:
+        relay.prefetch(INV_POINT)
+    holders_before = directory.holders(INV_POINT)
+    assert len(holders_before) == len(relays)
+
+    egress_before_republish = origin.bytes_served
+    result = publisher.publish(
+        inv_lecture((12, 8, 11, 6)), "qt", levels=[1], replace=True,
+    )
+    new_ref = origin.points[INV_POINT].content
+    new_key = new_ref.fingerprint()
+    counters = get_counters("edge_cache")
+    invalidated = counters["invalidations"]
+    stale_after_push = [
+        r.name for r in relays
+        if old_key in r.cache or r._cache_keys.get(INV_POINT) == old_key
+    ]
+
+    # every leaf re-warms: the first per region pulls the parent (one
+    # origin egress each), the rest ride intra-region
+    refill_egress_before = origin.bytes_served
+    for leaf in leaves:
+        leaf.prefetch(INV_POINT)
+    refill_egress = origin.bytes_served - refill_egress_before
+    # fill egress is packet bytes; the header travels on the describe
+    run_bytes = sum(len(b) for b in new_ref.packed_packets())
+
+    byte_identical = all(
+        b"".join(p.pack() for p in leaf.cache.lookup(new_key).packets)
+        == b"".join(p.pack() for p in new_ref.packets)
+        for leaf in leaves
+    )
+    for relay in relays:
+        relay.shutdown()
+    net.simulator.run(max_events=5_000_000)
+    TraceChecker(tracer.records).assert_ok()
+    return {
+        "relays": len(relays),
+        "holders_before": len(holders_before),
+        "invalidations_pushed": result.invalidations_pushed,
+        "edges_invalidated": invalidated,
+        "stale_after_push": stale_after_push,
+        "stale_serves": counters["stale_serves"],
+        "refill_origin_bytes": refill_egress,
+        "run_bytes": run_bytes,
+        "origin_refills": (
+            refill_egress / run_bytes if run_bytes else float("inf")
+        ),
+        "regions": len(regions),
+        "byte_identical": byte_identical,
+        "republish_egress_bytes": refill_egress_before
+        - egress_before_republish,
+        "catalog_key_fresh": catalog.entry(INV_POINT).cache_key == new_key,
+    }
+
+
+# ----------------------------------------------------------------------
+# the bench entry points
+# ----------------------------------------------------------------------
+
+class TestCachePredictBench:
+    def test_bench_flash_warm(self, benchmark):
+        def scenario():
+            return {s: measure_flash_warm(s) for s in SEEDS}
+
+        rows = run_once(benchmark, scenario)
+        print("\n[cache] flash crowd, cold vs prefetch-warmed:")
+        print(format_table(
+            ["seed", "cold origin", "w1 viewer-window", "w1 prefetch",
+             "w2 viewer-window", "warmed"],
+            [[s, r["cold_origin_bytes"], r["warm_w1_viewer_window_bytes"],
+              r["warm_w1_prefetch_bytes"], r["warm_w2_viewer_window_bytes"],
+              r["warmed_bytes"]] for s, r in rows.items()],
+        ))
+        for r in rows.values():
+            assert r["prefetch_ok"] == r["prefetch_items"] > 0
+            # the headline: warming moves the cold fill out of the viewer
+            # window — wave 1 serves like an already-warm wave 2
+            assert (
+                r["warm_w1_viewer_window_bytes"]
+                <= 2 * r["warm_w2_viewer_window_bytes"]
+            )
+            # and the cold baseline really did pay in-window
+            assert r["cold_origin_bytes"] > r["warm_w1_viewer_window_bytes"]
+            assert r["prefetch_spans_audited"] == r["prefetch_items"]
+        _emit(flash_warm={str(s): r for s, r in rows.items()})
+
+    def test_bench_scan_resistance(self, benchmark):
+        def scenario():
+            return {
+                s: {
+                    "lru": measure_scan(s, tinylfu=False),
+                    "tinylfu": measure_scan(s, tinylfu=True),
+                }
+                for s in SEEDS
+            }
+
+        rows = run_once(benchmark, scenario)
+        print("\n[cache] 50-lecture sequential scan vs the hot set:")
+        print(format_table(
+            ["seed", "policy", "retained", "retention", "rejected"],
+            [[s, r["policy"], f"{r['hot_retained']}/{r['hot_set']}",
+              f"{r['hot_retention']:.0%}", r["admission_rejected"]]
+             for s, arms in rows.items() for r in arms.values()],
+        ))
+        for arms in rows.values():
+            assert arms["tinylfu"]["hot_retention"] >= 0.9
+            assert arms["tinylfu"]["hot_hit_rate_after_scan"] >= 0.9
+            assert arms["lru"]["hot_retention"] < 0.5
+            assert arms["tinylfu"]["admission_rejected"] > 0
+        _emit(scan_resistance={str(s): r for s, r in rows.items()})
+
+    def test_bench_republish_invalidation(self, benchmark):
+        def scenario():
+            return {s: measure_invalidation(s) for s in SEEDS}
+
+        rows = run_once(benchmark, scenario)
+        print("\n[cache] republish invalidation over the relay tree:")
+        print(format_table(
+            ["seed", "holders", "pushed", "origin refills", "stale serves",
+             "byte-identical"],
+            [[s, r["holders_before"], r["invalidations_pushed"],
+              f"{r['origin_refills']:.2f}", r["stale_serves"],
+              r["byte_identical"]] for s, r in rows.items()],
+        ))
+        for r in rows.values():
+            # the push reached every holding edge, none kept stale state
+            assert r["invalidations_pushed"] == r["holders_before"]
+            assert r["edges_invalidated"] == r["holders_before"]
+            assert r["stale_after_push"] == []
+            # exactly one origin re-fill per region
+            assert r["origin_refills"] == r["regions"]
+            # zero stale bytes after the invalidation instant
+            assert r["stale_serves"] == 0
+            assert r["byte_identical"] is True
+            assert r["catalog_key_fresh"] is True
+        _emit(republish_invalidation={str(s): r for s, r in rows.items()})
+
+
+def _emit(**section):
+    """Merge a result section into BENCH_cache_predict.json at repo root."""
+    path = Path(__file__).resolve().parent.parent / "BENCH_cache_predict.json"
+    payload = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            payload = {}
+    payload.update(section)
+    payload["config"] = {
+        "smoke": SMOKE,
+        "seeds": SEEDS,
+        "edges": EDGES,
+        "regions": REGIONS,
+        "viewers": VIEWERS,
+        "lectures": LECTURES,
+        "lead_time_s": LEAD_TIME,
+        "scan_catalog": SCAN_CATALOG,
+        "hot_set": HOT_SET,
+        "cache_slots": CACHE_SLOTS,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -366,6 +366,8 @@ class Depacketizer:
     ) -> None:
         self._fragments: Dict[Tuple[int, int], Dict[int, Payload]] = {}
         self._meta: Dict[Tuple[int, int], Payload] = {}
+        #: running reassembled byte count per in-flight object
+        self._have: Dict[Tuple[int, int], int] = {}
         self.completed: List[MediaUnit] = []
         self._seen_objects: Dict[int, set] = {}
         self._completed_objects: Dict[int, set] = {}
@@ -409,28 +411,55 @@ class Depacketizer:
         if self._max_sequence is None or packet.sequence > self._max_sequence:
             self._max_sequence = packet.sequence
         finished: List[MediaUnit] = []
+        fragments = self._fragments
         for payload in packet.payloads:
-            key = (payload.stream_number, payload.object_number)
+            stream = payload.stream_number
+            key = (stream, payload.object_number)
             if (
                 self._suppress_completed
                 and payload.object_number
-                in self._completed_objects.get(payload.stream_number, ())
+                in self._completed_objects.get(stream, ())
             ):
                 self.suppressed_duplicates += 1
                 continue
-            self._seen_objects.setdefault(payload.stream_number, set()).add(
+            self._seen_objects.setdefault(stream, set()).add(
                 payload.object_number
             )
-            bucket = self._fragments.setdefault(key, {})
+            if payload.is_complete_object and key not in fragments:
+                # the common case — an unfragmented object in one payload:
+                # its data IS the unit, no bucket, no re-sum, no join
+                unit = MediaUnit(
+                    stream,
+                    payload.object_number,
+                    payload.timestamp_ms,
+                    payload.keyframe,
+                    payload.data,
+                )
+                finished.append(unit)
+                self.completed.append(unit)
+                self._completed_objects.setdefault(stream, set()).add(
+                    payload.object_number
+                )
+                continue
+            bucket = fragments.setdefault(key, {})
+            old = bucket.get(payload.offset)
             bucket[payload.offset] = payload
             self._meta[key] = payload
-            have = sum(len(p.data) for p in bucket.values())
+            # running byte count per object instead of re-summing the
+            # whole bucket on every fragment (quadratic on large objects)
+            have = self._have.get(key, 0) + len(payload.data)
+            if old is not None:
+                have -= len(old.data)
+            self._have[key] = have
             if have >= payload.object_size:
-                data = b"".join(
-                    bucket[offset].data for offset in sorted(bucket)
-                )
+                if len(bucket) == 1:
+                    data = payload.data
+                else:
+                    data = b"".join(
+                        bucket[offset].data for offset in sorted(bucket)
+                    )
                 unit = MediaUnit(
-                    payload.stream_number,
+                    stream,
                     payload.object_number,
                     payload.timestamp_ms,
                     payload.keyframe,
@@ -438,11 +467,12 @@ class Depacketizer:
                 )
                 finished.append(unit)
                 self.completed.append(unit)
-                self._completed_objects.setdefault(
-                    payload.stream_number, set()
-                ).add(payload.object_number)
-                del self._fragments[key]
+                self._completed_objects.setdefault(stream, set()).add(
+                    payload.object_number
+                )
+                del fragments[key]
                 del self._meta[key]
+                del self._have[key]
         return finished
 
     def units_for(self, stream_number: int) -> List[MediaUnit]:

@@ -1,0 +1,43 @@
+"""Content-aware catalog and predictive caching.
+
+The paper's content tree — script commands, slide markers, LOD levels —
+is built at publish time; this package makes it earn its keep at
+*delivery* time (the direction Kannan & Andres' automated
+lecture-capture/navigation system points):
+
+* :class:`CatalogIndex` — a searchable catalog built from published
+  script commands and LOD metadata: per-lecture slide tables of
+  contents, seek-to-slide resolution (slide id → packet-run offset via
+  the ASF simple index), and deterministic full-text token search over
+  titles and command parameters.
+* :class:`TinyLFUAdmission` — a frequency-based admission policy for
+  :class:`~repro.streaming.edge.PacketRunCache`: a 4-bit count-min
+  sketch with periodic halving, a doorkeeper Bloom filter absorbing
+  one-hit wonders, and admit-on-compare against the LRU victim. A
+  one-shot sequential scan of the whole catalog no longer evicts the
+  hot set.
+* :class:`PrefetchPlanner` — scheduled cache warming: catalog start
+  times + Zipf popularity decide which runs to pull to which region
+  parents (optionally leaves) ahead of lecture start, through the
+  ordinary fill cascade (so every warmed byte is budget-charged and
+  fingerprint-verified), under an explicit byte budget traced for the
+  :class:`~repro.obs.checker.TraceChecker` to audit.
+"""
+
+from .admission import CountMinSketch, Doorkeeper, TinyLFUAdmission
+from .index import CatalogIndex, LectureEntry, SearchHit, SlideRef, tokenize
+from .prefetch import PrefetchConfig, PrefetchItem, PrefetchPlanner
+
+__all__ = [
+    "CatalogIndex",
+    "CountMinSketch",
+    "Doorkeeper",
+    "LectureEntry",
+    "PrefetchConfig",
+    "PrefetchItem",
+    "PrefetchPlanner",
+    "SearchHit",
+    "SlideRef",
+    "TinyLFUAdmission",
+    "tokenize",
+]

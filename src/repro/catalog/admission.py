@@ -1,0 +1,179 @@
+"""TinyLFU-style admission for the packet-run cache.
+
+Plain LRU admits everything, so a one-shot sequential scan of a
+50-lecture catalog flushes the hot set an edge spent all day earning.
+TinyLFU (Einziger, Friedman & Manes) fixes that with three small,
+deterministic pieces:
+
+* :class:`CountMinSketch` — a count-min sketch with 4-bit saturating
+  counters and periodic *halving* (aging), so frequency estimates track
+  a sliding window rather than all of history;
+* :class:`Doorkeeper` — a Bloom filter absorbing first occurrences, so
+  one-hit wonders never consume sketch counters;
+* :class:`TinyLFUAdmission` — the policy object: on a full cache, a
+  candidate is admitted only if its estimated frequency *beats* the LRU
+  victim's. Ties favour the resident — exactly what makes a scan bounce
+  off a hot set.
+
+Everything is seeded and hashes through sha1, so admission decisions
+are reproducible across processes and independent of
+``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Tuple
+
+from ..metrics.counters import Counters, get_counters
+
+
+def _hash_pair(seed: int, salt: str, key: str) -> Tuple[int, int]:
+    """Two independent 64-bit hash values for double hashing."""
+    digest = hashlib.sha1(f"{seed}:{salt}:{key}".encode()).digest()
+    h1 = int.from_bytes(digest[:8], "big")
+    h2 = int.from_bytes(digest[8:16], "big") | 1  # odd: full-period stride
+    return h1, h2
+
+
+class CountMinSketch:
+    """Count-min sketch with 4-bit saturating counters and halving.
+
+    ``width`` is rounded up to a power of two. Counters saturate at 15
+    (the 4-bit ceiling; byte-backed for speed, nibble semantics).
+    :meth:`halve` ages every counter by one bit — the caller decides
+    when (TinyLFU resets once a sample window's worth of increments has
+    accumulated).
+    """
+
+    MAX_COUNT = 15
+
+    def __init__(self, *, width: int = 1024, depth: int = 4, seed: int = 0) -> None:
+        if width < 2 or depth < 1:
+            raise ValueError("sketch needs width >= 2 and depth >= 1")
+        self.width = 1 << (width - 1).bit_length()
+        self.depth = depth
+        self.seed = seed
+        self._rows: List[bytearray] = [
+            bytearray(self.width) for _ in range(depth)
+        ]
+        self.increments = 0
+
+    def _indexes(self, key: str) -> List[int]:
+        h1, h2 = _hash_pair(self.seed, "cms", key)
+        mask = self.width - 1
+        return [(h1 + i * h2) & mask for i in range(self.depth)]
+
+    def increment(self, key: str) -> None:
+        self.increments += 1
+        for row, idx in zip(self._rows, self._indexes(key)):
+            if row[idx] < self.MAX_COUNT:
+                row[idx] += 1
+
+    def estimate(self, key: str) -> int:
+        return min(
+            row[idx] for row, idx in zip(self._rows, self._indexes(key))
+        )
+
+    def halve(self) -> None:
+        """Age the window: every counter drops to half (floor)."""
+        for row in self._rows:
+            for i, value in enumerate(row):
+                if value:
+                    row[i] = value >> 1
+        self.increments = 0
+
+
+class Doorkeeper:
+    """A small Bloom filter holding keys seen exactly once so far.
+
+    The first access to a key lands here instead of the sketch; only
+    repeat accesses earn sketch counters. Cleared on every sketch reset
+    so its (one-sided) error also ages out.
+    """
+
+    def __init__(self, *, bits: int = 8192, hashes: int = 2, seed: int = 0) -> None:
+        if bits < 8 or hashes < 1:
+            raise ValueError("doorkeeper needs bits >= 8 and hashes >= 1")
+        self.bits = 1 << (bits - 1).bit_length()
+        self.hashes = hashes
+        self.seed = seed
+        self._filter = bytearray(self.bits // 8)
+
+    def _positions(self, key: str) -> List[int]:
+        h1, h2 = _hash_pair(self.seed, "door", key)
+        mask = self.bits - 1
+        return [(h1 + i * h2) & mask for i in range(self.hashes)]
+
+    def __contains__(self, key: str) -> bool:
+        return all(
+            self._filter[pos >> 3] & (1 << (pos & 7))
+            for pos in self._positions(key)
+        )
+
+    def add(self, key: str) -> bool:
+        """Record the key; True when it was not already present."""
+        fresh = False
+        for pos in self._positions(key):
+            byte, bit = pos >> 3, 1 << (pos & 7)
+            if not self._filter[byte] & bit:
+                fresh = True
+                self._filter[byte] |= bit
+        return fresh
+
+    def clear(self) -> None:
+        for i in range(len(self._filter)):
+            self._filter[i] = 0
+
+
+class TinyLFUAdmission:
+    """The admission policy a :class:`PacketRunCache` consults when full.
+
+    :meth:`record_access` feeds every cache lookup (hit or miss) into
+    the frequency window; :meth:`admit` compares candidate vs victim
+    estimates. ``sample_period`` increments trigger an aging reset
+    (sketch halved, doorkeeper cleared) — counted as ``sketch_resets``
+    in the shared ``edge_cache`` counter bag.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        width: int = 1024,
+        depth: int = 4,
+        sample_period: Optional[int] = None,
+        doorkeeper_bits: int = 8192,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        self.sketch = CountMinSketch(width=width, depth=depth, seed=seed)
+        self.doorkeeper = Doorkeeper(bits=doorkeeper_bits, seed=seed)
+        self.sample_period = (
+            sample_period if sample_period is not None else 10 * self.sketch.width
+        )
+        if self.sample_period < 1:
+            raise ValueError("sample_period must be >= 1")
+        self.counters = counters if counters is not None else get_counters("edge_cache")
+        self._samples = 0
+
+    def record_access(self, key: str) -> None:
+        if self.doorkeeper.add(key):
+            # first sighting: the doorkeeper absorbs it, no sketch cost
+            pass
+        else:
+            self.sketch.increment(key)
+        self._samples += 1
+        if self._samples >= self.sample_period:
+            self.sketch.halve()
+            self.doorkeeper.clear()
+            self._samples = 0
+            self.counters.inc("sketch_resets")
+
+    def estimate(self, key: str) -> int:
+        boost = 1 if key in self.doorkeeper else 0
+        return self.sketch.estimate(key) + boost
+
+    def admit(self, candidate: str, victim: str) -> bool:
+        """True when the candidate's windowed frequency beats the LRU
+        victim's. Ties keep the resident — the scan-resistance rule."""
+        return self.estimate(candidate) > self.estimate(victim)

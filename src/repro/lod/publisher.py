@@ -47,7 +47,7 @@ from ..media.codecs import ImageCodec
 from ..media.objects import ImageObject, VideoObject
 from ..media.profiles import PROFILE_BY_NAME, BandwidthProfile, get_profile
 from ..streaming.server import MediaServer
-from ..web.http import HTTPError, HTTPRequest, HTTPResponse, form_decode
+from ..web.http import HTTPClient, HTTPError, HTTPRequest, HTTPResponse, form_decode
 from .lecture import Lecture, LectureError, LectureSegment
 from .orchestrator import OrchestrationResult, Orchestrator
 
@@ -329,6 +329,9 @@ class LODPublishResult:
     encodes_performed: int
     dedup_hits: int
     cache_hits: int
+    #: edges that acknowledged a stale-run invalidation push (replace=True
+    #: with an edge directory attached; 0 otherwise)
+    invalidations_pushed: int = 0
 
     def variant(self, level: int, profile: str) -> PublishedVariant:
         key = (level, profile)
@@ -392,6 +395,8 @@ class LODPublisher:
         preroll_ms: int = 3_000,
         with_data: bool = False,
         simulated_cost_per_second: float = 0.0,
+        edge_directory=None,
+        catalog=None,
         tracer=None,
     ) -> None:
         renditions = list(renditions)
@@ -416,6 +421,14 @@ class LODPublisher:
         self.preroll_ms = preroll_ms
         self.with_data = with_data
         self.simulated_cost_per_second = simulated_cost_per_second
+        #: :class:`~repro.streaming.edge.EdgeDirectory` — when attached,
+        #: a ``replace=True`` publish pushes an eager ``invalidate`` to
+        #: every edge the holder registry lists for a changed point, so
+        #: stale runs drop *now* instead of waiting out their TTL
+        self.edge_directory = edge_directory
+        #: :class:`~repro.catalog.CatalogIndex` — kept current on every
+        #: publish (republish re-indexes, bumping the recorded cache key)
+        self.catalog = catalog
         self._image_codec = ImageCodec()
 
     # ------------------------------------------------------------------
@@ -525,12 +538,17 @@ class LODPublisher:
         results = self.farm.encode_batch(jobs)
 
         variants: Dict[Tuple[int, str], PublishedVariant] = {}
+        invalidations_pushed = 0
         for plan in plans:
             name = f"{point}-l{plan.level}-{plan.profile.name}"
             asf = self._assemble_variant(lecture, name, plan, results)
             url = ""
             if self.media_server is not None:
+                replaced_key: Optional[str] = None
                 if replace and name in self.media_server.points:
+                    old = self.media_server.points[name].content
+                    if isinstance(old, ASFFile):
+                        replaced_key = old.fingerprint()
                     self.media_server.unpublish(name)
                 self.media_server.publish(
                     name,
@@ -541,6 +559,14 @@ class LODPublisher:
                     ),
                 )
                 url = self.media_server.url_of(name)
+                if replaced_key is not None and replaced_key != asf.fingerprint():
+                    # the republish changed the content address: edges
+                    # holding the old run must drop it *now* — the next
+                    # viewer refills the new generation instead of riding
+                    # stale bytes until the TTL catches up
+                    invalidations_pushed += self._push_invalidation(
+                        name, asf.fingerprint()
+                    )
             variants[(plan.level, plan.profile.name)] = PublishedVariant(
                 point=name,
                 url=url,
@@ -558,7 +584,7 @@ class LODPublisher:
                 dedup_hits=self.farm.dedup_hits - dedup_before,
                 cache_hits=self.farm.cache_hits - cache_before,
             )
-        return LODPublishResult(
+        result = LODPublishResult(
             point=point,
             title=lecture.title,
             levels=tuple(level_list),
@@ -568,7 +594,44 @@ class LODPublisher:
             encodes_performed=self.farm.encodes_performed - encodes_before,
             dedup_hits=self.farm.dedup_hits - dedup_before,
             cache_hits=self.farm.cache_hits - cache_before,
+            invalidations_pushed=invalidations_pushed,
         )
+        if self.catalog is not None:
+            self.catalog.add_publish_result(result)
+        return result
+
+    def _push_invalidation(self, name: str, fresh_key: str) -> int:
+        """Eager invalidation fan-out: tell every edge the holder
+        registry lists for ``name`` that its run is stale. Unreachable
+        edges are skipped — their TTL (or the stale-source gate on their
+        next fill) is the backstop. Returns acknowledgements."""
+        if self.edge_directory is None or self.media_server is None:
+            return 0
+        holders = self.edge_directory.holders(name)
+        if not holders:
+            return 0
+        client = HTTPClient(self.media_server.network, self.media_server.host)
+        pushed = 0
+        for holder in holders:
+            if not self.edge_directory.can_serve_fill(holder):
+                continue
+            url = self.edge_directory.edge_url(holder)
+            try:
+                response = client.post(
+                    f"{url}/control/invalidate",
+                    body={"point": name, "cache_key": fresh_key},
+                )
+            except HTTPError:
+                continue
+            if response.ok:
+                pushed += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "publish.invalidate",
+                point=name, cache_key=fresh_key,
+                holders=len(holders), pushed=pushed,
+            )
+        return pushed
 
     # ------------------------------------------------------------------
 

@@ -44,7 +44,18 @@ simulator cannot enforce locally:
   ``region.failover_end`` for the same region, at which point **no live
   feed survives its parent's crash unmigrated** (no active feed's
   upstream is the dead host) and **no backbone reservation outlives its
-  holder** (no active reservation on a link touching the dead host).
+  holder** (no active reservation on a link touching the dead host);
+* **point lifecycle** — ``point.published`` / ``point.retired`` (traced
+  at the origin only) pair up: no double-publish without a retire in
+  between, no retire of an unpublished point;
+* **prefetch honesty** — every ``prefetch`` span (opened by the warming
+  executor per planned item) closes exactly once under a declared
+  ``prefetch.plan`` run; a successful warm's landed ``cache_key`` must
+  equal the plan's ``expect_key`` (warmed bytes are byte-identical to
+  the origin's run — the same fingerprint the fill path verified); the
+  run's accumulated warmed bytes never exceed its declared
+  ``budget_bytes``; and nothing prefetches a point after its
+  ``point.retired`` (no warming torn-down content).
 
 Violations accumulate (so one audit reports *all* problems) and
 :meth:`TraceChecker.assert_ok` raises :class:`TraceViolation` with every
@@ -88,6 +99,10 @@ class TraceChecker:
         self.live_feeds_seen = 0
         self.failovers_seen = 0
         self.feeds_migrated = 0
+        self.points_published = 0
+        self.points_retired = 0
+        self.prefetch_spans = 0
+        self.prefetch_bytes = 0
         self._checked = False
 
     # ------------------------------------------------------------------
@@ -120,6 +135,13 @@ class TraceChecker:
         # regions that fell flat (origin-only): exempt from the
         # one-entering-feed invariant from that point on
         flat_regions: set = set()
+        # authoritative (origin) point lifecycle
+        live_points: set = set()
+        retired_points: set = set()
+        # prefetch run id -> (declared budget bytes or None, warmed bytes)
+        prefetch_runs: Dict[Any, List[Any]] = {}
+        # open prefetch span id -> (t, run, edge, point, expect_key)
+        open_prefetches: Dict[Any, Tuple[float, Any, Any, Any, str]] = {}
 
         for record in self.records:
             name = record["name"]
@@ -433,6 +455,92 @@ class TraceChecker:
                     if key[0] == client:
                         del render_frontier[key]
 
+            elif name == "point.published":
+                point = attrs.get("point")
+                self.points_published += 1
+                if point in live_points:
+                    self._fail(
+                        f"point {point!r} published twice with no retire "
+                        f"in between (t={t:.3f})"
+                    )
+                live_points.add(point)
+                retired_points.discard(point)
+
+            elif name == "point.retired":
+                point = attrs.get("point")
+                self.points_retired += 1
+                if point not in live_points:
+                    self._fail(
+                        f"retire of unknown/already-retired point "
+                        f"{point!r} (t={t:.3f})"
+                    )
+                live_points.discard(point)
+                retired_points.add(point)
+
+            elif name == "prefetch.plan":
+                run = attrs.get("run")
+                if run in prefetch_runs:
+                    self._fail(
+                        f"prefetch.plan declares run {run!r} twice "
+                        f"(t={t:.3f})"
+                    )
+                budget = attrs.get("budget_bytes")
+                prefetch_runs[run] = [
+                    float(budget) if budget is not None else None, 0
+                ]
+
+            elif name == "prefetch":
+                if record.get("kind") == "begin":
+                    span = record.get("span")
+                    run = attrs.get("run")
+                    point = attrs.get("point")
+                    self.prefetch_spans += 1
+                    if run not in prefetch_runs:
+                        self._fail(
+                            f"prefetch of {point!r} under undeclared run "
+                            f"{run!r} (t={t:.3f})"
+                        )
+                    if point in retired_points:
+                        self._fail(
+                            f"prefetch of {point!r} by "
+                            f"{attrs.get('edge')!r} after the point was "
+                            f"retired (t={t:.3f})"
+                        )
+                    open_prefetches[span] = (
+                        t, run, attrs.get("edge"), point,
+                        str(attrs.get("expect_key") or ""),
+                    )
+                elif record.get("kind") == "end":
+                    span = record.get("span")
+                    entry = open_prefetches.pop(span, None)
+                    if entry is None:
+                        self._fail(
+                            f"prefetch span {span!r} ended without a "
+                            f"matching begin (t={t:.3f})"
+                        )
+                        continue
+                    _bt, run, edge, point, expect_key = entry
+                    warmed = int(attrs.get("bytes", 0) or 0)
+                    landed = str(attrs.get("cache_key") or "")
+                    ok = bool(attrs.get("ok"))
+                    if ok and expect_key and landed != expect_key:
+                        self._fail(
+                            f"prefetch of {point!r} to {edge!r} landed "
+                            f"cache key {landed!r} but the catalog "
+                            f"expected {expect_key!r} (t={t:.3f}) — "
+                            f"warmed bytes are not the origin's"
+                        )
+                    state = prefetch_runs.get(run)
+                    if state is not None:
+                        self.prefetch_bytes += warmed
+                        state[1] += warmed
+                        if state[0] is not None and state[1] > state[0] + 1e-9:
+                            self._fail(
+                                f"prefetch run {run!r} warmed {state[1]:g} "
+                                f"bytes, exceeding its declared budget of "
+                                f"{state[0]:g} (t={t:.3f})"
+                            )
+
         for edge in sorted(active_drains, key=str):
             self._fail(f"drain of edge {edge!r} never ended")
         for sid, opened_at in sorted(open_sessions.items(), key=str):
@@ -467,6 +575,13 @@ class TraceChecker:
                 f"failover of region {region!r} (dead host {dead_host!r}) "
                 f"started at t={started_at:.3f} never ended"
             )
+        for span, (started_at, run, edge, point, _key) in sorted(
+            open_prefetches.items(), key=str
+        ):
+            self._fail(
+                f"prefetch of {point!r} to {edge!r} (run {run!r}) begun "
+                f"at t={started_at:.3f} never ended"
+            )
         return self.violations
 
     # ------------------------------------------------------------------
@@ -495,6 +610,10 @@ class TraceChecker:
             "live_feeds_seen": self.live_feeds_seen,
             "failovers_seen": self.failovers_seen,
             "feeds_migrated": self.feeds_migrated,
+            "points_published": self.points_published,
+            "points_retired": self.points_retired,
+            "prefetch_spans": self.prefetch_spans,
+            "prefetch_bytes": self.prefetch_bytes,
             "violations": len(self.violations),
         }
 

@@ -96,6 +96,17 @@ class PacketRunCache:
     Beside the run cache sits the **live history**: a bounded deque of
     recently broadcast packets per live point, evicted by send-time
     horizon rather than LRU, serving late joiners a catch-up burst.
+
+    Two optional content-aware layers (see :mod:`repro.catalog`):
+
+    * ``admission`` — a TinyLFU-style policy consulted when a store
+      would overflow the budget: the candidate must *beat* the LRU
+      victim's windowed frequency estimate or it is turned away
+      (``admission_rejected``), which is what keeps a one-shot catalog
+      scan from flushing the hot set;
+    * ``ttl_seconds`` + ``clock`` — entries expire on lookup once older
+      than the TTL (``ttl_evictions``), the passive half of republish
+      invalidation (the active half is the origin's invalidation push).
     """
 
     def __init__(
@@ -103,13 +114,24 @@ class PacketRunCache:
         *,
         max_bytes: int = 64 * 1024 * 1024,
         counters: Optional[Counters] = None,
+        admission=None,
+        ttl_seconds: Optional[float] = None,
     ) -> None:
         if max_bytes <= 0:
             raise ValueError("cache budget must be positive")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None)")
         self.max_bytes = max_bytes
         self.counters = counters if counters is not None else get_counters("edge_cache")
+        #: optional :class:`~repro.catalog.TinyLFUAdmission`-shaped policy
+        #: (``record_access(key)`` / ``admit(candidate, victim)``)
+        self.admission = admission
+        self.ttl_seconds = ttl_seconds
+        #: time source for TTL (an EdgeRelay binds the simulator clock)
+        self.clock: Optional[Callable[[], float]] = None
         self._entries: "OrderedDict[str, ASFFile]" = OrderedDict()
         self._sizes: Dict[str, int] = {}
+        self._stored_at: Dict[str, float] = {}
         self.bytes_cached = 0
         #: observer of evictions (cache key) — set by EdgeRelay when a
         #: directory with a holder registry is attached
@@ -126,35 +148,84 @@ class PacketRunCache:
         """Keys from least- to most-recently used."""
         return list(self._entries)
 
+    def _now(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
     def lookup(self, key: str) -> Optional[ASFFile]:
+        if self.admission is not None:
+            self.admission.record_access(key)
         entry = self._entries.get(key)
         if entry is None:
+            self.counters.inc("misses")
+            return None
+        if (
+            self.ttl_seconds is not None
+            and self._now() - self._stored_at.get(key, 0.0) > self.ttl_seconds
+        ):
+            self.remove(key, counter="ttl_evictions")
             self.counters.inc("misses")
             return None
         self._entries.move_to_end(key)
         self.counters.inc("hits")
         return entry
 
-    def store(self, key: str, asf: ASFFile) -> None:
+    def store(self, key: str, asf: ASFFile) -> bool:
+        """Insert a run; False when the admission policy turned it away.
+
+        Re-storing a key already resident (a refill landing the same
+        content, a stale-serve refresh) is deduped by cache key *before*
+        any charge: the entry is only freshened, never double-counted.
+        """
         if key in self._entries:
             self._entries.move_to_end(key)
-            return
+            self._stored_at[key] = self._now()
+            return True
         size = len(asf.header.pack()) + sum(
             len(blob) for blob in asf.packed_packets()
         )
+        if (
+            self.admission is not None
+            and self._entries
+            and self.bytes_cached + size > self.max_bytes
+        ):
+            victim = next(iter(self._entries))
+            if not self.admission.admit(key, victim):
+                self.counters.inc("admission_rejected")
+                return False
         self._entries[key] = asf
         self._sizes[key] = size
+        self._stored_at[key] = self._now()
         self.bytes_cached += size
         self.counters.inc("insertions")
         self.counters.inc("bytes_inserted", size)
         while self.bytes_cached > self.max_bytes and len(self._entries) > 1:
             victim, _ = self._entries.popitem(last=False)
             freed = self._sizes.pop(victim)
+            self._stored_at.pop(victim, None)
             self.bytes_cached -= freed
             self.counters.inc("evictions")
             self.counters.inc("bytes_evicted", freed)
             if self.on_evict is not None:
                 self.on_evict(victim)
+        return True
+
+    def remove(self, key: str, *, counter: str = "invalidations") -> bool:
+        """Drop one run eagerly (invalidation push, supersede, TTL).
+
+        Charges come off exactly once however many times this is called;
+        ``on_evict`` fires so a holder registry stops advertising it.
+        """
+        if key not in self._entries:
+            return False
+        del self._entries[key]
+        freed = self._sizes.pop(key)
+        self._stored_at.pop(key, None)
+        self.bytes_cached -= freed
+        self.counters.inc(counter)
+        self.counters.inc("bytes_invalidated", freed)
+        if self.on_evict is not None:
+            self.on_evict(key)
+        return True
 
     # -- bounded live history -------------------------------------------
 
@@ -636,6 +707,7 @@ class _FillState:
     __slots__ = (
         "point", "header", "cache_key", "sequences",
         "got", "session_id", "done", "exhausted", "attempt_failed",
+        "supersedes",
     )
 
     def __init__(
@@ -650,6 +722,10 @@ class _FillState:
         self.done = False
         self.exhausted = False
         self.attempt_failed = False
+        #: cache key this point previously resolved to (a republish
+        #: changed the content): the stale run is dropped when the fill
+        #: lands so both generations never occupy budget at once
+        self.supersedes: Optional[str] = None
 
     def missing(self) -> List[int]:
         return [s for s in self.sequences if s not in self.got]
@@ -684,6 +760,10 @@ class EdgeRelay(MediaServer):
     get bounded history from the cache, and NAKs for packets the relay
     itself never received are forwarded upstream.
     """
+
+    #: edges publish/retire local copies constantly — only the origin's
+    #: point lifecycle is authoritative for the trace audit
+    _trace_point_lifecycle = False
 
     def __init__(
         self,
@@ -725,6 +805,7 @@ class EdgeRelay(MediaServer):
         parsed = urlparse(self.origin_url)
         self.origin_host = parsed.hostname
         self.cache = cache if cache is not None else PacketRunCache()
+        self.cache.clock = lambda: self.simulator.now
         self.join_quantum = join_quantum
         self.fill_burst = fill_burst
         self.fill_timeout = fill_timeout
@@ -875,6 +956,60 @@ class EdgeRelay(MediaServer):
     def prefetch(self, name: str) -> None:
         """Warm the relay: replicate ``name`` before any client asks."""
         self._ensure_local(name)
+
+    def _drop_superseded(self, name: str, old_key: str) -> None:
+        """Retire a pre-republish run unless another point still needs it
+        (LOD variants can share a deduped run)."""
+        for point, key in self._cache_keys.items():
+            if point != name and key == old_key:
+                return
+        self.cache.remove(old_key, counter="superseded_runs_dropped")
+
+    # ------------------------------------------------------------------
+    # republish invalidation (pushed by the origin publisher)
+    # ------------------------------------------------------------------
+
+    def invalidate_point(self, name: str, cache_key: Optional[str] = None) -> bool:
+        """Eagerly drop a stale run after a republish.
+
+        ``cache_key`` (when given) is the *new* authoritative key: a run
+        already matching it is fresh and kept. Everything else held for
+        the point — the cached run, the local publishing point, an
+        in-flight fill of the old generation — is torn down, so the next
+        viewer refills the new content instead of riding stale bytes.
+        Returns True when anything stale was actually dropped.
+        """
+        held = self._cache_keys.get(name)
+        if held is not None and cache_key is not None and held == cache_key:
+            return False
+        dropped = False
+        fill = self._fills.get(name)
+        if fill is not None and not fill.done and (
+            cache_key is None or fill.cache_key != cache_key
+        ):
+            # a fill of the old generation is mid-flight: abort it so the
+            # stale-source gate (origin re-describe) restarts it fresh
+            fill.attempt_failed = True
+            fill.exhausted = True
+            self.cache.counters.inc("stale_fill_aborted")
+            dropped = True
+        if held is not None:
+            if self.cache.remove(held):
+                dropped = True
+            del self._cache_keys[name]
+        point = self.points.get(name)
+        if point is not None and not point.broadcast:
+            self.unpublish(name)
+            dropped = True
+        if self.directory is not None:
+            self.directory.forget_fill(self.name, name)
+        if dropped and self.tracer is not None:
+            self.tracer.event(
+                "cache.invalidate",
+                edge=self.name, point=name,
+                stale_key=held, fresh_key=cache_key,
+            )
+        return dropped
 
     def _serve_stale(self, name: str) -> bool:
         """Publish ``name`` from the cached run, if the disk holds one.
@@ -1044,9 +1179,16 @@ class EdgeRelay(MediaServer):
                 self._pending_broadcasts.discard(name)
             return
         cache_key = authority["cache_key"]
+        # a republish changed the point's content address: remember the
+        # old run so the refill (or cache hit below) retires it — the
+        # budget must never carry two generations of one point
+        prev_key = self._cache_keys.get(name)
+        superseded = prev_key if prev_key and prev_key != cache_key else None
         self._cache_keys[name] = cache_key
         cached = self.cache.lookup(cache_key)
         if cached is not None:
+            if superseded is not None:
+                self._drop_superseded(name, superseded)
             # the run is already on local disk: the origin sees only a
             # control-plane open (zero media egress), kept so the origin
             # still knows one replica session per edge per point.
@@ -1090,6 +1232,7 @@ class EdgeRelay(MediaServer):
                 )
         bitrate = max(float(authority.get("bitrate", 0.0)), 1.0)
         fill = _FillState(name, header, cache_key, tuple(authority["sequences"]))
+        fill.supersedes = superseded
         self._fills[name] = fill
         if self.directory is not None:
             # advertise immediately: a sibling missing concurrently finds
@@ -1102,7 +1245,7 @@ class EdgeRelay(MediaServer):
                 if self.crashed or fill.exhausted:
                     break
                 if self._fill_from(fill, kind, url, bitrate, out_token):
-                    if self.directory is not None:
+                    if self.directory is not None and fill.cache_key in self.cache:
                         self.directory.record_fill(self.name, name)
                     return
             fill.exhausted = True
@@ -1111,8 +1254,17 @@ class EdgeRelay(MediaServer):
             )
         finally:
             self._fills.pop(name, None)
-            if not fill.done and self.directory is not None:
-                self.directory.forget_fill(self.name, name)
+            if not fill.done:
+                if self.directory is not None:
+                    self.directory.forget_fill(self.name, name)
+                # a failed fill must not leave a cache-key claim with no
+                # run behind it (e.g. the generation was torn down at the
+                # origin mid-fill): the next ensure re-describes fresh
+                if (
+                    self._cache_keys.get(name) == fill.cache_key
+                    and fill.cache_key not in self.cache
+                ):
+                    del self._cache_keys[name]
 
     def _fill_from(
         self,
@@ -1236,7 +1388,18 @@ class EdgeRelay(MediaServer):
             fill.attempt_failed = True
             self.cache.counters.inc("fill_integrity_failures")
             return
-        self.cache.store(fill.cache_key, asf)
+        if fill.supersedes is not None:
+            # retire the pre-republish run *before* charging the new one:
+            # dedupe by cache key, so the byte budget never counts both
+            # generations of the point at once
+            self._drop_superseded(fill.point, fill.supersedes)
+            fill.supersedes = None
+        stored = self.cache.store(fill.cache_key, asf)
+        if not stored and self.directory is not None:
+            # admission turned the run away: it still serves this fill's
+            # viewers (published below) but is not on disk, so stop
+            # advertising it as a fill source
+            self.directory.forget_fill(self.name, fill.point)
         if fill.point not in self.points and not self.crashed:
             self.publish(fill.point, asf)
         fill.done = True
@@ -1961,6 +2124,21 @@ class EdgeRelay(MediaServer):
                 kwargs["fill_token"] = token
         return kwargs
 
+    def _handle_control(self, request: HTTPRequest) -> HTTPResponse:
+        # ``invalidate`` is a publisher push, not a session verb: it
+        # carries a point + fresh cache key instead of a session_id, so
+        # intercept it before the base dispatch parses one
+        action = request.path[len("/control/"):]
+        if action == "invalidate":
+            if self.crashed:
+                return HTTPResponse(503, body="server is down")
+            body = request.body or {}
+            dropped = self.invalidate_point(
+                str(body["point"]), body.get("cache_key")
+            )
+            return HTTPResponse(200, body={"dropped": dropped})
+        return super()._handle_control(request)
+
     def _handle_describe(self, request: HTTPRequest) -> HTTPResponse:
         if self.crashed:
             return HTTPResponse(503, body="server is down")
@@ -1979,6 +2157,28 @@ class EdgeRelay(MediaServer):
 # ----------------------------------------------------------------------
 # topology construction
 # ----------------------------------------------------------------------
+
+
+def _make_cache(
+    cache_bytes: int,
+    cache_admission: bool,
+    cache_ttl_seconds: Optional[float],
+    admission_seed: int,
+) -> PacketRunCache:
+    """Per-relay cache (separate machines, separate disks) — with its
+    own TinyLFU instance when admission is on, so edges' frequency
+    windows are independent."""
+    admission = None
+    if cache_admission:
+        # local import: repro.catalog sits above repro.streaming in the
+        # layer order, so the streaming module must not hard-require it
+        from ..catalog.admission import TinyLFUAdmission
+        admission = TinyLFUAdmission(seed=admission_seed)
+    return PacketRunCache(
+        max_bytes=cache_bytes,
+        admission=admission,
+        ttl_seconds=cache_ttl_seconds,
+    )
 
 
 def build_edge_tier(
@@ -2002,6 +2202,9 @@ def build_edge_tier(
     sibling_fills: bool = False,
     backbone_budget: Optional[BackboneBudget] = None,
     live_history_seconds: float = 0.0,
+    cache_admission: bool = False,
+    cache_ttl_seconds: Optional[float] = None,
+    admission_seed: int = 0,
     tracer=None,
 ) -> Tuple[EdgeDirectory, List[EdgeRelay]]:
     """Origin + N edges: backbone links, relays, populated directory.
@@ -2031,7 +2234,10 @@ def build_edge_tier(
         relay = EdgeRelay(
             network, host,
             origin_url=origin_url,
-            cache=PacketRunCache(max_bytes=cache_bytes),
+            cache=_make_cache(
+                cache_bytes, cache_admission, cache_ttl_seconds,
+                admission_seed,
+            ),
             port=port,
             qos_enabled=qos_enabled,
             pacing_quantum=pacing_quantum,
@@ -2079,6 +2285,9 @@ def build_relay_tree(
     live_history_seconds: float = 30.0,
     backbone_budget: Optional[BackboneBudget] = None,
     origin_fallback: bool = False,
+    cache_admission: bool = False,
+    cache_ttl_seconds: Optional[float] = None,
+    admission_seed: int = 0,
     tracer=None,
 ) -> Tuple[EdgeDirectory, Dict[str, EdgeRelay], List[EdgeRelay]]:
     """Origin + regional parents + leaf edges: the multi-level tree.
@@ -2119,7 +2328,10 @@ def build_relay_tree(
             network, parent_host,
             origin_url=origin_url,
             name=f"parent-{region}",
-            cache=PacketRunCache(max_bytes=cache_bytes),
+            cache=_make_cache(
+                cache_bytes, cache_admission, cache_ttl_seconds,
+                admission_seed,
+            ),
             port=port,
             qos_enabled=qos_enabled,
             pacing_quantum=pacing_quantum,
@@ -2142,7 +2354,10 @@ def build_relay_tree(
             relay = EdgeRelay(
                 network, host,
                 origin_url=origin_url,
-                cache=PacketRunCache(max_bytes=cache_bytes),
+                cache=_make_cache(
+                    cache_bytes, cache_admission, cache_ttl_seconds,
+                    admission_seed,
+                ),
                 port=port,
                 qos_enabled=qos_enabled,
                 pacing_quantum=pacing_quantum,

@@ -239,6 +239,11 @@ class MediaServer:
     # publishing
     # ------------------------------------------------------------------
 
+    #: trace point.published/point.retired — True at the origin only:
+    #: EdgeRelay overrides this to False, so local replica copies coming
+    #: and going don't masquerade as authoritative lifecycle events
+    _trace_point_lifecycle = True
+
     def publish(
         self,
         name: str,
@@ -262,6 +267,12 @@ class MediaServer:
                 self._on_live_packets(name, content, backlog)
         else:
             self._schedules[name] = _PointSchedule(content)
+        if self.tracer is not None and self._trace_point_lifecycle:
+            self.tracer.event(
+                "point.published",
+                server=self.trace_label or self.host,
+                point=name, broadcast=point.broadcast,
+            )
         return point
 
     def unpublish(self, name: str) -> None:
@@ -275,6 +286,12 @@ class MediaServer:
         self._live_index.pop(name, None)
         self._live_scanned.pop(name, None)
         del self.points[name]
+        if self.tracer is not None and self._trace_point_lifecycle:
+            self.tracer.event(
+                "point.retired",
+                server=self.trace_label or self.host,
+                point=name,
+            )
 
     def _point(self, name: str) -> PublishingPoint:
         try:

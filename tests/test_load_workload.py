@@ -247,3 +247,76 @@ class TestCohortViewerLifecycle:
         assert len(qoes) == 2
         assert sum(q.multiplicity for q in qoes) == 5
         assert cohort.beacons > 0
+
+
+class TestPlannerPrefetch:
+    """``LoadConfig.prefetch`` as a :class:`PrefetchConfig`: scheduled
+    warming on the run's own timeline, tier reuse for warm second waves."""
+
+    def spec(self):
+        return WorkloadSpec(
+            viewers=40, seed=3, zipf_s=1.0, flash_fraction=0.6,
+            flash_width=1.5, join_quantum=0.5,
+            lectures=lecture_catalog(3, 8.0, stagger=4.0),
+        )
+
+    def config(self, **kw):
+        from repro.catalog import PrefetchConfig
+
+        kw.setdefault("prefetch", PrefetchConfig(lead_time=2.0))
+        return LoadConfig(edges=4, regions=2, teardown=True, **kw)
+
+    def test_planner_warms_parents_and_reports_stats(self):
+        result = run_workload(
+            self.spec(), mode="cohort", config=self.config(),
+        )
+        stats = result.control["prefetch"]
+        # 3 VOD lectures × 2 region parents, all landed
+        assert stats["items"] == 6
+        assert stats["ok"] == 6 and stats["failed"] == 0
+        assert stats["warmed_bytes"] == stats["planned_bytes"] > 0
+        assert result.tier is None  # not kept unless asked
+
+    def test_planner_run_passes_trace_audit(self):
+        from repro.obs import TraceChecker, Tracer
+
+        tracer = Tracer()
+        run_workload(
+            self.spec(), mode="cohort", config=self.config(tracer=tracer),
+        )
+        checker = TraceChecker(tracer.records)
+        checker.assert_ok()
+        assert checker.prefetch_spans == 6
+        assert checker.prefetch_bytes > 0
+
+    def test_tier_reuse_makes_second_wave_origin_free(self):
+        wave1 = run_workload(
+            self.spec(), mode="cohort", config=self.config(), keep_tier=True,
+        )
+        assert wave1.tier is not None
+        assert wave1.control["origin"]["bytes_served"] > 0
+        wave2 = run_workload(
+            self.spec(), mode="cohort",
+            config=self.config(client_prefix="w2-"),
+            tier=wave1.tier,
+        )
+        # every warm is a local cache hit: zero origin media egress
+        assert wave2.control["prefetch"]["ok"] == 6
+        assert wave2.control["prefetch"]["origin_egress_bytes"] == 0
+        assert wave2.control["origin"]["bytes_served"] == 0
+
+    def test_prefetch_false_still_means_cold_start(self):
+        result = run_workload(
+            self.spec(), mode="cohort",
+            config=LoadConfig(edges=2, prefetch=False),
+        )
+        assert "prefetch" not in result.control
+
+    def test_disabled_planner_schedules_nothing(self):
+        from repro.catalog import PrefetchConfig
+
+        result = run_workload(
+            self.spec(), mode="cohort",
+            config=self.config(prefetch=PrefetchConfig(enabled=False)),
+        )
+        assert "prefetch" not in result.control
